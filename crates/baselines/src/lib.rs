@@ -1,0 +1,55 @@
+//! Baseline GF(2^m) bit-parallel multiplier generators.
+//!
+//! The paper compares its proposed multiplier against four published
+//! architectures; this crate implements the gate-level constructions the
+//! comparison needs (all over the shared [`netlist`] IR, all verified
+//! against the [`gf2m`] software oracle):
+//!
+//! * [`MastrovitoPaar`] — the product-matrix multiplier of Mastrovito as
+//!   refined by Paar (\[2\] in the paper): shared `a`-coordinate sums,
+//!   then one AND per matrix entry, then row XOR trees;
+//! * [`ReyhaniHasan`] — the low-complexity polynomial-basis multiplier
+//!   of Reyhani-Masoleh & Hasan (\[3\]): shared antidiagonal (`d_k`)
+//!   trees followed by the reduction network — `m²−1 + (reduction)` XOR
+//!   gates;
+//! * [`Rashidi`] — the bit-parallel variant of Rashidi, Farashahi &
+//!   Sayedi (\[8\]): per-coefficient *flattened* product supports summed
+//!   in perfectly balanced trees — the minimum-delay construction;
+//! * [`School`] — a deliberately naive two-step multiplier (chained
+//!   XOR accumulation) kept as a structural worst-case reference for
+//!   tests and ablations (not part of the paper's Table V);
+//! * [`Karatsuba`] — a sub-quadratic recursive multiplier (extension
+//!   beyond the paper: fewer AND gates, more XOR depth).
+//!
+//! # Examples
+//!
+//! ```
+//! use gf2m::Field;
+//! use gf2poly::TypeIiPentanomial;
+//! use rgf2m_baselines::ReyhaniHasan;
+//! use rgf2m_core::MultiplierGenerator;
+//!
+//! let field = Field::from_pentanomial(&TypeIiPentanomial::new(8, 2)?);
+//! let net = ReyhaniHasan.generate(&field);
+//! // The paper cites 77 XOR gates for [3] at (m, n) = (8, 2); our
+//! // builder shares one repeated pair node, landing at 76.
+//! assert_eq!(net.stats().xors, 76);
+//! # Ok::<(), gf2poly::PentanomialError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod karatsuba;
+mod mastrovito;
+mod rashidi;
+mod reyhani;
+mod school;
+mod support;
+
+pub use karatsuba::Karatsuba;
+pub use mastrovito::MastrovitoPaar;
+pub use rashidi::Rashidi;
+pub use reyhani::ReyhaniHasan;
+pub use school::School;
+pub use support::coefficient_support;

@@ -1,0 +1,114 @@
+//! Flattened product supports of the reduced coefficients.
+
+use gf2m::Field;
+
+/// The flattened partial-product support of product coordinate `c_k`:
+/// every `(i, j)` with `a_i·b_j` contributing to `c_k`, after modulo-2
+/// cancellation, sorted ascending.
+///
+/// `c_k = d_k + Σ R[k][t]·d_{m+t}`, and the antidiagonals `i + j = k`
+/// and `i + j = m + t` are pairwise disjoint, so in practice no
+/// cancellation occurs — but the implementation still cancels defensively
+/// (it must stay correct for any reduction structure).
+///
+/// # Examples
+///
+/// ```
+/// use gf2m::Field;
+/// use gf2poly::TypeIiPentanomial;
+/// use rgf2m_baselines::coefficient_support;
+///
+/// let field = Field::from_pentanomial(&TypeIiPentanomial::new(8, 2)?);
+/// // c_7 = d_7 + T_3 + T_4 + T_5: 8 + 4 + 3 + 2 = 17 products.
+/// assert_eq!(coefficient_support(&field, 7).len(), 17);
+/// # Ok::<(), gf2poly::PentanomialError>(())
+/// ```
+pub fn coefficient_support(field: &Field, k: usize) -> Vec<(usize, usize)> {
+    let m = field.m();
+    assert!(k < m, "coefficient index {k} out of range for m = {m}");
+    let red = field.reduction_matrix();
+    let mut present = std::collections::HashMap::new();
+    let toggle_antidiagonal = |sum: usize, present: &mut std::collections::HashMap<(usize, usize), bool>| {
+        for i in sum.saturating_sub(m - 1)..=sum.min(m - 1) {
+            let j = sum - i;
+            if j < m {
+                *present.entry((i, j)).or_insert(false) ^= true;
+            }
+        }
+    };
+    toggle_antidiagonal(k, &mut present);
+    for t in 0..m - 1 {
+        if red.entry(k, t) {
+            toggle_antidiagonal(m + t, &mut present);
+        }
+    }
+    let mut out: Vec<(usize, usize)> = present
+        .into_iter()
+        .filter_map(|(p, on)| on.then_some(p))
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gf2poly::TypeIiPentanomial;
+
+    fn gf256() -> Field {
+        Field::from_pentanomial(&TypeIiPentanomial::new(8, 2).unwrap())
+    }
+
+    #[test]
+    fn support_sizes_match_table_i_structure() {
+        // |support(c_k)| = (k+1) + Σ_{t ∈ T-set} (m − 1 − t).
+        let field = gf256();
+        let red = field.reduction_matrix();
+        for k in 0..8 {
+            let expect: usize = (k + 1)
+                + (0..7)
+                    .filter(|&t| red.entry(k, t))
+                    .map(|t| 8 - 1 - t)
+                    .sum::<usize>();
+            assert_eq!(coefficient_support(&field, k).len(), expect, "c{k}");
+        }
+    }
+
+    #[test]
+    fn support_evaluates_to_the_product() {
+        // XOR of a_i·b_j over the support must equal coordinate k of the
+        // field product, for a sample of concrete operands.
+        let field = gf256();
+        let supports: Vec<_> = (0..8).map(|k| coefficient_support(&field, k)).collect();
+        for (a, b) in [(0x57u64, 0x83u64), (0xff, 0xff), (0x01, 0xfe), (0xaa, 0x55)] {
+            let ea = field.element_from_bits(a);
+            let eb = field.element_from_bits(b);
+            let c = field.mul(&ea, &eb);
+            for (k, sup) in supports.iter().enumerate() {
+                let bit = sup.iter().fold(false, |acc, &(i, j)| {
+                    acc ^ (((a >> i) & 1 == 1) && ((b >> j) & 1 == 1))
+                });
+                assert_eq!(bit, c.coeff(k), "c{k} for a={a:#x}, b={b:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn supports_partition_all_products() {
+        // Every (i, j) appears in at least one coefficient's support (no
+        // product is globally useless), and the total respects the
+        // antidiagonal structure.
+        let field = gf256();
+        let mut seen = std::collections::HashSet::new();
+        for k in 0..8 {
+            seen.extend(coefficient_support(&field, k));
+        }
+        assert_eq!(seen.len(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_coefficient() {
+        let _ = coefficient_support(&gf256(), 8);
+    }
+}

@@ -1,0 +1,31 @@
+//! Criterion micro-benchmarks: software GF(2^m) field arithmetic (the
+//! oracle the gate-level designs are verified against).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gf2m::Field;
+use gf2poly::TypeIiPentanomial;
+
+fn bench_field_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("field_ops");
+    for (m, n) in [(8usize, 2usize), (64, 23), (163, 66)] {
+        let field = Field::from_pentanomial(&TypeIiPentanomial::new(m, n).unwrap());
+        let a = field.element_from_limbs(vec![0xdead_beef_1234_5678; m.div_ceil(64)]);
+        let b = field.element_from_limbs(vec![0x0fed_cba9_8765_4321; m.div_ceil(64)]);
+        group.bench_with_input(BenchmarkId::new("mul", m), &m, |bch, _| {
+            bch.iter(|| std::hint::black_box(field.mul(&a, &b)))
+        });
+        group.bench_with_input(BenchmarkId::new("mul_via_matrix", m), &m, |bch, _| {
+            bch.iter(|| std::hint::black_box(field.mul_via_reduction_matrix(&a, &b)))
+        });
+        group.bench_with_input(BenchmarkId::new("square", m), &m, |bch, _| {
+            bch.iter(|| std::hint::black_box(field.square(&a)))
+        });
+        group.bench_with_input(BenchmarkId::new("inverse_eea", m), &m, |bch, _| {
+            bch.iter(|| std::hint::black_box(field.inverse(&a)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_field_ops);
+criterion_main!(benches);

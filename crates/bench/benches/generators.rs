@@ -1,0 +1,24 @@
+//! Criterion benchmarks: multiplier netlist generation for all six
+//! Table V methods.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rgf2m_bench::{field_for, table_v_generators};
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(20);
+    for (m, n) in [(8usize, 2usize), (64, 23)] {
+        let field = field_for(m, n);
+        for gen in table_v_generators() {
+            group.bench_with_input(
+                BenchmarkId::new(gen.name(), m),
+                &m,
+                |b, _| b.iter(|| std::hint::black_box(gen.generate(&field))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

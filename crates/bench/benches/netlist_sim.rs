@@ -1,0 +1,27 @@
+//! Criterion benchmarks: bit-parallel gate-level simulation throughput
+//! (64 multiplications per eval_words call).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rgf2m_bench::field_for;
+use rgf2m_core::{generate, Method};
+
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netlist_sim");
+    for (m, n) in [(8usize, 2usize), (64, 23), (163, 66)] {
+        let field = field_for(m, n);
+        let net = generate(&field, Method::ProposedFlat);
+        let words: Vec<u64> = (0..2 * m).map(|i| 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1)).collect();
+        // 64 field multiplications per call.
+        group.throughput(Throughput::Elements(64));
+        group.bench_with_input(BenchmarkId::new("proposed_eval64", m), &m, |b, _| {
+            b.iter(|| std::hint::black_box(net.eval_words(&words)))
+        });
+        group.bench_with_input(BenchmarkId::new("oracle_eval64", m), &m, |b, _| {
+            b.iter(|| std::hint::black_box(field.mul_words(&words)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

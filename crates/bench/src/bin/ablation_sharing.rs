@@ -1,0 +1,47 @@
+//! Ablation: what does sub-expression *sharing* buy at the gate level?
+//!
+//! The paper remarks (§II) that repeated terms "could be shared,
+//! therefore reducing the space requirements". Our builders share
+//! through hash-consing; this ablation quantifies the effect by
+//! comparing gate counts of the six methods — which differ exactly in
+//! how much structure they share — plus the naive `School` reference.
+
+use gf2m::Field;
+use rgf2m_baselines::School;
+use rgf2m_bench::{field_for, table_v_generators};
+use rgf2m_core::gen::MultiplierGenerator;
+
+fn stats_line(name: &str, field: &Field, gen: &dyn MultiplierGenerator) {
+    let s = gen.generate(field).stats();
+    println!(
+        "  {:<22} {:>6} {:>6} {:>9} {:>11}",
+        name,
+        s.ands,
+        s.xors,
+        s.depth.to_string(),
+        s.max_fanout
+    );
+}
+
+fn main() {
+    println!("ABLATION — gate-level sharing across methods");
+    println!();
+    for (m, n) in [(8usize, 2usize), (64, 23), (113, 34)] {
+        let field = field_for(m, n);
+        println!("field ({m},{n}):");
+        println!(
+            "  {:<22} {:>6} {:>6} {:>9} {:>11}",
+            "method", "AND", "XOR", "delay", "max fanout"
+        );
+        for g in table_v_generators() {
+            stats_line(&format!("{} {}", g.citation(), g.name()), &field, g.as_ref());
+        }
+        stats_line("(reference) school", &field, &School);
+        println!();
+    }
+    println!("Reading: AND counts are identical (m^2, fully shared products);");
+    println!("XOR counts and fanout expose each method's sharing strategy —");
+    println!("[8] shares nothing above the products (most XORs, fanout 1 on");
+    println!("internal nodes), [3]/[6] share d_k / S_i/T_i units, [7] shares");
+    println!("split atoms and pair nodes, the proposed method shares atoms only.");
+}

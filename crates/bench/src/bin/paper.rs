@@ -1,0 +1,29 @@
+//! Prints every table of the paper in sequence (Tables I–IV symbolic,
+//! Table V measured in `--quick` mode). The one-stop harness binary.
+
+use std::process::Command;
+
+fn main() {
+    let exe_dir = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(|d| d.to_path_buf()));
+    let Some(dir) = exe_dir else {
+        eprintln!("cannot locate sibling table binaries");
+        std::process::exit(1);
+    };
+    for (bin, args) in [
+        ("table1", vec![]),
+        ("table2", vec![]),
+        ("table3", vec![]),
+        ("table4", vec![]),
+        ("table5", vec!["--quick"]),
+    ] {
+        let path = dir.join(bin);
+        println!("\n════════════════════════════════════════════════════════");
+        match Command::new(&path).args(&args).status() {
+            Ok(s) if s.success() => {}
+            Ok(s) => eprintln!("{bin} exited with {s}"),
+            Err(e) => eprintln!("failed to run {}: {e} (build all bins first)", path.display()),
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Regenerates Table V of the paper: post-"place-and-route" comparison
+//! of six GF(2^m) multiplier methods over nine type II pentanomial
+//! fields, through the `rgf2m-fpga` flow (our stand-in for ISE/XST on
+//! Artix-7 — see DESIGN.md §2).
+//!
+//! Usage:
+//!   table5             # all nine fields (20–40 minutes; use --release)
+//!   table5 --quick     # only (8,2) and (64,23) (~1 minute)
+//!
+//! For every field the measured block is printed next to the paper's
+//! published numbers, followed by shape checks (who wins A×T, proposed
+//! vs [7]).
+
+use rgf2m_bench::paper_data::PAPER_TABLE_V;
+use rgf2m_bench::{format_field_block, harness_flow, run_table_v_field, MeasuredRow};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let flow = harness_flow();
+    println!("TABLE V — COMPARISON OF GF(2^m) MULTIPLIERS");
+    println!("(measured by the rgf2m-fpga flow; paper values from ISE 14.7 / Artix-7)");
+    println!();
+    let mut our_axt_wins_for_this_work = 0usize;
+    let mut proposed_beats_paren = 0usize;
+    let mut fields_run = 0usize;
+    for block in &PAPER_TABLE_V {
+        if quick && !matches!((block.m, block.n), (8, 2) | (64, 23)) {
+            continue;
+        }
+        fields_run += 1;
+        eprintln!("running ({}, {}) ...", block.m, block.n);
+        let rows = run_table_v_field(block.m, block.n, &flow);
+        println!("== measured ==");
+        print!("{}", format_field_block(block.m, block.n, &rows));
+        println!("== paper ==");
+        for p in &block.rows {
+            println!(
+                "  {:<10} {:>6} {:>7} {:>9.2} {:>11.2}",
+                p.citation,
+                p.luts,
+                p.slices,
+                p.time_ns,
+                p.area_time()
+            );
+        }
+        let winner = axt_winner(&rows);
+        println!("  measured A×T winner: {winner}");
+        if winner == "This work" {
+            our_axt_wins_for_this_work += 1;
+        }
+        let paren = rows.iter().find(|r| r.citation == "[7]").unwrap();
+        let tw = rows.iter().find(|r| r.citation == "This work").unwrap();
+        if tw.area_time() < paren.area_time() {
+            proposed_beats_paren += 1;
+        }
+        println!();
+    }
+    println!("shape summary over {fields_run} fields:");
+    println!("  'This work' A×T wins: {our_axt_wins_for_this_work}/{fields_run} (paper: 7/9)");
+    println!(
+        "  proposed beats [7] (parenthesised) on A×T: {proposed_beats_paren}/{fields_run} (paper: 9/9)"
+    );
+}
+
+fn axt_winner(rows: &[MeasuredRow]) -> &'static str {
+    rows.iter()
+        .min_by(|a, b| a.area_time().partial_cmp(&b.area_time()).unwrap())
+        .map(|r| r.citation)
+        .unwrap_or("?")
+}

@@ -1,0 +1,173 @@
+//! Benchmark harness shared by the table-regeneration binaries and the
+//! Criterion benches.
+//!
+//! Contains the six Table V method generators in the paper's row order,
+//! the paper's published Table V numbers (for side-by-side comparison
+//! and shape checks), and the code that runs the full FPGA flow per
+//! field/method.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod paper_data;
+
+use gf2m::Field;
+use gf2poly::TypeIiPentanomial;
+use netlist::Netlist;
+use rgf2m_baselines::{MastrovitoPaar, Rashidi, ReyhaniHasan};
+use rgf2m_core::gen::MultiplierGenerator;
+use rgf2m_core::Method;
+use rgf2m_fpga::{FpgaFlow, ImplReport};
+
+/// The six methods of the paper's Table V, in its row order:
+/// \[2\], \[8\], \[3\], \[6\], \[7\], This work.
+pub fn table_v_generators() -> Vec<Box<dyn MultiplierGenerator>> {
+    vec![
+        Box::new(MastrovitoPaar),
+        Box::new(Rashidi),
+        Box::new(ReyhaniHasan),
+        Method::Imana2012.generator(),
+        Method::Imana2016.generator(),
+        Method::ProposedFlat.generator(),
+    ]
+}
+
+/// One measured row of our Table V reproduction.
+#[derive(Debug, Clone)]
+pub struct MeasuredRow {
+    /// The paper's citation tag (`"[2]"` … `"This work"`).
+    pub citation: &'static str,
+    /// Post-mapping LUT count.
+    pub luts: usize,
+    /// Post-packing slice count.
+    pub slices: usize,
+    /// Post-place critical path (ns).
+    pub time_ns: f64,
+}
+
+impl MeasuredRow {
+    /// LUTs × ns, the paper's composite metric.
+    pub fn area_time(&self) -> f64 {
+        self.luts as f64 * self.time_ns
+    }
+}
+
+/// Builds the field for a Table V `(m, n)` pair.
+///
+/// # Panics
+///
+/// Panics if the pair is not a valid type II pentanomial.
+pub fn field_for(m: usize, n: usize) -> Field {
+    Field::from_pentanomial(
+        &TypeIiPentanomial::new(m, n)
+            .unwrap_or_else(|e| panic!("invalid Table V pair ({m},{n}): {e}")),
+    )
+}
+
+/// Generates the netlist for one Table V row.
+pub fn generate_row_netlist(gen: &dyn MultiplierGenerator, field: &Field) -> Netlist {
+    gen.generate(field)
+}
+
+/// Runs the full FPGA flow for every method on one field.
+pub fn run_table_v_field(m: usize, n: usize, flow: &FpgaFlow) -> Vec<MeasuredRow> {
+    let field = field_for(m, n);
+    table_v_generators()
+        .iter()
+        .map(|g| {
+            let net = g.generate(&field);
+            let report: ImplReport = flow.run(&net);
+            MeasuredRow {
+                citation: g.citation(),
+                luts: report.luts,
+                slices: report.slices,
+                time_ns: report.time_ns,
+            }
+        })
+        .collect()
+}
+
+/// Formats a measured field block in the paper's Table V layout.
+pub fn format_field_block(m: usize, n: usize, rows: &[MeasuredRow]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "  ({m},{n})");
+    let _ = writeln!(
+        s,
+        "  {:<10} {:>6} {:>7} {:>9} {:>11}",
+        "method", "LUTs", "Slices", "Time(ns)", "AxT"
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "  {:<10} {:>6} {:>7} {:>9.2} {:>11.2}",
+            r.citation,
+            r.luts,
+            r.slices,
+            r.time_ns,
+            r.area_time()
+        );
+    }
+    s
+}
+
+/// A flow tuned for harness runs: deterministic, with a bounded
+/// annealing budget so the largest fields stay tractable.
+pub fn harness_flow() -> FpgaFlow {
+    FpgaFlow::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_generators_in_paper_order() {
+        let gens = table_v_generators();
+        let tags: Vec<&str> = gens.iter().map(|g| g.citation()).collect();
+        assert_eq!(tags, ["[2]", "[8]", "[3]", "[6]", "[7]", "This work"]);
+    }
+
+    #[test]
+    fn run_table_v_smallest_field() {
+        let rows = run_table_v_field(8, 2, &harness_flow());
+        assert_eq!(rows.len(), 6);
+        for r in &rows {
+            assert!(r.luts > 0 && r.time_ns > 0.0, "{r:?}");
+        }
+        let block = format_field_block(8, 2, &rows);
+        assert!(block.contains("This work"));
+        assert!(block.contains("AxT"));
+    }
+
+    #[test]
+    fn paper_data_is_complete() {
+        assert_eq!(paper_data::PAPER_TABLE_V.len(), 9);
+        for block in paper_data::PAPER_TABLE_V {
+            assert_eq!(block.rows.len(), 6);
+        }
+    }
+
+    #[test]
+    fn paper_axt_winner_is_mostly_this_work() {
+        // The paper's claim: the proposed method wins A×T on 7 of the 9
+        // fields (exceptions: (113,34) and (163,68), where [3] wins).
+        let mut wins = 0;
+        let mut exceptions = Vec::new();
+        for block in paper_data::PAPER_TABLE_V {
+            let best = block
+                .rows
+                .iter()
+                .min_by(|a, b| a.area_time().partial_cmp(&b.area_time()).unwrap())
+                .unwrap();
+            if best.citation == "This work" {
+                wins += 1;
+            } else {
+                exceptions.push((block.m, block.n, best.citation));
+            }
+        }
+        assert_eq!(wins, 7, "exceptions: {exceptions:?}");
+        assert!(exceptions.contains(&(113, 34, "[3]")));
+        assert!(exceptions.contains(&(163, 68, "[3]")));
+    }
+}

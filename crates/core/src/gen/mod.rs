@@ -1,0 +1,206 @@
+//! Gate-level multiplier generators for the `S_i`/`T_i` method family.
+//!
+//! Three generators reproduce the paper's lineage:
+//!
+//! * [`Method::Imana2012`] — \[6\]: monolithic `S_i`/`T_i` units built as
+//!   balanced XOR trees, coefficients as balanced sums of units;
+//! * [`Method::Imana2016`] — \[7\]: split atoms combined with the
+//!   *parenthesised* same-level pairing discipline (depth-aware Huffman
+//!   pairing), minimizing XOR depth;
+//! * [`Method::ProposedFlat`] — this paper: split atoms combined as a
+//!   structurally neutral flat sum, leaving restructuring freedom to the
+//!   downstream synthesis tool (`rgf2m-fpga`).
+//!
+//! All three accept *any* [`Field`] (the construction needs only the
+//! reduction matrix), though the paper's delay analysis targets type II
+//! pentanomials.
+
+mod builder;
+mod imana2012;
+mod imana2016;
+mod proposed;
+
+pub use builder::MulCircuit;
+pub use imana2012::Imana2012;
+pub use imana2016::Imana2016;
+pub use proposed::ProposedFlat;
+
+use gf2m::Field;
+use netlist::Netlist;
+
+/// A generator of bit-parallel GF(2^m) multiplier netlists.
+///
+/// Implementations produce a combinational netlist with inputs
+/// `a0..a{m−1}, b0..b{m−1}` (in that order) and outputs `c0..c{m−1}`
+/// computing the polynomial-basis product in the given field.
+pub trait MultiplierGenerator {
+    /// Short machine-friendly name (e.g. `"proposed"`).
+    fn name(&self) -> &'static str;
+
+    /// The paper's citation tag for this method (e.g. `"[7]"`,
+    /// `"This work"`).
+    fn citation(&self) -> &'static str;
+
+    /// Generates the multiplier netlist for `field`.
+    fn generate(&self, field: &Field) -> Netlist;
+}
+
+/// The generator methods implemented in this crate.
+///
+/// # Examples
+///
+/// ```
+/// use gf2m::Field;
+/// use gf2poly::TypeIiPentanomial;
+/// use rgf2m_core::{generate, Method};
+///
+/// let field = Field::from_pentanomial(&TypeIiPentanomial::new(8, 2)?);
+/// let net = generate(&field, Method::Imana2016);
+/// // The paper's Table III claim: delay T_A + 5T_X for (8, 2).
+/// assert_eq!(net.depth().xors, 5);
+/// # Ok::<(), gf2poly::PentanomialError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Monolithic `S_i`/`T_i` trees, per \[6\] (Imaña 2012).
+    Imana2012,
+    /// Split atoms with parenthesised same-level pairing, per \[7\]
+    /// (Imaña 2016).
+    Imana2016,
+    /// Split atoms, flat sums — the paper's proposed method.
+    ProposedFlat,
+}
+
+impl Method {
+    /// All methods, in publication order.
+    pub const ALL: [Method; 3] = [Method::Imana2012, Method::Imana2016, Method::ProposedFlat];
+
+    /// The boxed generator for this method.
+    pub fn generator(self) -> Box<dyn MultiplierGenerator> {
+        match self {
+            Method::Imana2012 => Box::new(Imana2012),
+            Method::Imana2016 => Box::new(Imana2016),
+            Method::ProposedFlat => Box::new(ProposedFlat),
+        }
+    }
+}
+
+/// Generates the multiplier netlist for `field` with the given method.
+///
+/// Convenience wrapper over [`Method::generator`].
+pub fn generate(field: &Field, method: Method) -> Netlist {
+    method.generator().generate(field)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gf2poly::TypeIiPentanomial;
+    use netlist::analysis::Depth;
+    use netlist::sim::{check_against_oracle_exhaustive, check_against_oracle_random};
+
+    fn gf256() -> Field {
+        Field::from_pentanomial(&TypeIiPentanomial::new(8, 2).unwrap())
+    }
+
+    #[test]
+    fn all_methods_are_functionally_correct_exhaustively_on_gf256() {
+        let field = gf256();
+        for method in Method::ALL {
+            let net = generate(&field, method);
+            let oracle = |w: &[u64]| field.mul_words(w);
+            let result = check_against_oracle_exhaustive(&net, oracle);
+            assert!(
+                result.is_equivalent(),
+                "{method:?} failed exhaustive check: {result:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_methods_have_64_ands_on_gf256() {
+        // The paper: every compared approach uses m^2 = 64 AND gates.
+        let field = gf256();
+        for method in Method::ALL {
+            let stats = generate(&field, method).stats();
+            assert_eq!(stats.ands, 64, "{method:?}");
+            assert_eq!(stats.depth.ands, 1, "{method:?} AND depth");
+        }
+    }
+
+    #[test]
+    fn imana2016_meets_paper_delay_bound_gf256() {
+        // Table III analysis: T_A + 5T_X.
+        let net = generate(&gf256(), Method::Imana2016);
+        assert_eq!(net.depth(), Depth { ands: 1, xors: 5 });
+    }
+
+    #[test]
+    fn imana2012_matches_paper_delay_gf256() {
+        // The paper credits [6] with T_A + 6T_X.
+        let net = generate(&gf256(), Method::Imana2012);
+        assert_eq!(net.depth(), Depth { ands: 1, xors: 6 });
+    }
+
+    #[test]
+    fn gate_counts_are_in_paper_envelope_gf256() {
+        // Paper: [7]-style splitting costs 87 XORs (with sharing),
+        // [6] costs 80; our constructions share via hash-consing so we
+        // assert the documented ballpark rather than exact equality.
+        let field = gf256();
+        let x2016 = generate(&field, Method::Imana2016).stats().xors;
+        let x2012 = generate(&field, Method::Imana2012).stats().xors;
+        let xflat = generate(&field, Method::ProposedFlat).stats().xors;
+        assert!((70..=100).contains(&x2016), "imana2016 XORs = {x2016}");
+        assert!((70..=100).contains(&x2012), "imana2012 XORs = {x2012}");
+        assert!((70..=110).contains(&xflat), "proposed XORs = {xflat}");
+    }
+
+    #[test]
+    fn methods_verify_on_larger_fields_randomly() {
+        for (m, n) in [(64usize, 23usize), (113, 34)] {
+            let field = Field::from_pentanomial(&TypeIiPentanomial::new(m, n).unwrap());
+            for method in Method::ALL {
+                let net = generate(&field, method);
+                let oracle = |w: &[u64]| field.mul_words(w);
+                let result = check_against_oracle_random(&net, oracle, 4, 2018);
+                assert!(
+                    result.is_equivalent(),
+                    "{method:?} failed on ({m},{n}): {result:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interface_naming_convention() {
+        let net = generate(&gf256(), Method::ProposedFlat);
+        assert_eq!(net.input_names()[0], "a0");
+        assert_eq!(net.input_names()[7], "a7");
+        assert_eq!(net.input_names()[8], "b0");
+        assert_eq!(net.outputs()[0].0, "c0");
+        assert_eq!(net.outputs()[7].0, "c7");
+    }
+
+    #[test]
+    fn generators_report_names_and_citations() {
+        assert_eq!(Method::Imana2012.generator().citation(), "[6]");
+        assert_eq!(Method::Imana2016.generator().citation(), "[7]");
+        assert_eq!(Method::ProposedFlat.generator().citation(), "This work");
+        let names: Vec<&str> = Method::ALL.iter().map(|m| m.generator().name()).collect();
+        assert_eq!(names, ["imana2012", "imana2016", "proposed"]);
+    }
+
+    #[test]
+    fn works_on_trinomial_modulus_too() {
+        let field = Field::new(gf2poly::Gf2Poly::from_exponents(&[9, 1, 0])).unwrap();
+        for method in Method::ALL {
+            let net = generate(&field, method);
+            let oracle = |w: &[u64]| field.mul_words(w);
+            assert!(
+                check_against_oracle_exhaustive(&net, oracle).is_equivalent(),
+                "{method:?} on trinomial GF(2^9)"
+            );
+        }
+    }
+}

@@ -1,0 +1,403 @@
+//! GF(2)-linear circuit synthesis: bit-parallel squarers and
+//! constant multipliers.
+//!
+//! Squaring and multiplication by a field constant are GF(2)-*linear*
+//! maps of the coordinate vector, so they compile to pure XOR networks
+//! described by an m×m matrix over GF(2). This module synthesizes such
+//! circuits two ways:
+//!
+//! * [`LinearStrategy::Naive`] — one balanced XOR tree per output row;
+//! * [`LinearStrategy::PaarCse`] — Paar's greedy common-pair
+//!   elimination (the classic constant-multiplier CSE heuristic from the
+//!   author of the paper's baseline \[2\]), which factors out the most
+//!   frequent input pair until no pair repeats.
+//!
+//! These are the companions a field ALU needs next to the paper's
+//! multipliers: squarers drive inversion chains (Itoh-Tsujii) and point
+//! doubling; constant multipliers drive Reed-Solomon encoders.
+
+use gf2m::Field;
+use gf2poly::Gf2Poly;
+use netlist::{Netlist, NodeId};
+
+/// An m×m matrix over GF(2), stored as rows of coordinate bitsets.
+///
+/// `rows[k]` holds the set of input coordinates XORed into output `k`:
+/// output_k = Σ_j rows\[k\].coeff(j) · input_j.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gf2Matrix {
+    rows: Vec<Gf2Poly>,
+    width: usize,
+}
+
+impl Gf2Matrix {
+    /// Creates a matrix from rows (as coordinate bitsets) and a width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row has a set bit at or beyond `width`.
+    pub fn new(rows: Vec<Gf2Poly>, width: usize) -> Self {
+        for (k, r) in rows.iter().enumerate() {
+            if let Some(d) = r.degree() {
+                assert!(d < width, "row {k} exceeds width {width}");
+            }
+        }
+        Gf2Matrix { rows, width }
+    }
+
+    /// The squaring matrix of a field: column `j` holds `x^(2j) mod f`,
+    /// so `(A²)_k = Σ_j a_j · [x^(2j)]_k`.
+    pub fn squaring(field: &Field) -> Self {
+        let m = field.m();
+        let mut rows = vec![Gf2Poly::zero(); m];
+        for j in 0..m {
+            let col = field.square(&Gf2Poly::monomial(j));
+            for (k, row) in rows.iter_mut().enumerate() {
+                if col.coeff(k) {
+                    row.set_coeff(j, true);
+                }
+            }
+        }
+        Gf2Matrix { rows, width: m }
+    }
+
+    /// The constant-multiplication matrix `M_c`: column `j` holds
+    /// `c·x^j mod f`, so `(c·A)_k = Σ_j a_j · [c·x^j]_k`.
+    pub fn constant_mul(field: &Field, c: &Gf2Poly) -> Self {
+        let m = field.m();
+        let mut rows = vec![Gf2Poly::zero(); m];
+        for j in 0..m {
+            let col = field.mul(c, &Gf2Poly::monomial(j));
+            for (k, row) in rows.iter_mut().enumerate() {
+                if col.coeff(k) {
+                    row.set_coeff(j, true);
+                }
+            }
+        }
+        Gf2Matrix { rows, width: m }
+    }
+
+    /// Number of outputs (rows).
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of inputs (columns).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The row bitset of output `k`.
+    pub fn row(&self, k: usize) -> &Gf2Poly {
+        &self.rows[k]
+    }
+
+    /// Total number of nonzero entries — the XOR cost without sharing is
+    /// `density() − num_nonzero_rows()`.
+    pub fn density(&self) -> usize {
+        self.rows.iter().map(Gf2Poly::weight).sum()
+    }
+
+    /// Applies the matrix to a coordinate vector (software semantics).
+    pub fn apply(&self, a: &Gf2Poly) -> Gf2Poly {
+        let mut out = Gf2Poly::zero();
+        for (k, row) in self.rows.iter().enumerate() {
+            let mut bit = false;
+            for j in row.exponents() {
+                bit ^= a.coeff(j);
+            }
+            if bit {
+                out.set_coeff(k, true);
+            }
+        }
+        out
+    }
+}
+
+/// How to synthesize a linear circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinearStrategy {
+    /// One balanced XOR tree per output; sharing only through
+    /// hash-consing coincidences.
+    Naive,
+    /// Paar's greedy common-pair elimination: repeatedly materialize the
+    /// input pair occurring in the most rows, substitute it as a new
+    /// pseudo-input, and recurse. Minimizes XOR count in practice.
+    PaarCse,
+}
+
+/// Synthesizes `matrix` over `inputs` inside `net`, returning one node
+/// per output row.
+///
+/// # Panics
+///
+/// Panics if `inputs.len() != matrix.width()`.
+pub fn synthesize_linear(
+    net: &mut Netlist,
+    inputs: &[NodeId],
+    matrix: &Gf2Matrix,
+    strategy: LinearStrategy,
+) -> Vec<NodeId> {
+    assert_eq!(inputs.len(), matrix.width(), "input arity");
+    match strategy {
+        LinearStrategy::Naive => matrix
+            .rows
+            .iter()
+            .map(|row| {
+                let nodes: Vec<NodeId> = row.exponents().map(|j| inputs[j]).collect();
+                net.xor_balanced(&nodes)
+            })
+            .collect(),
+        LinearStrategy::PaarCse => synthesize_paar(net, inputs, matrix),
+    }
+}
+
+/// Paar's greedy CSE over the row bitsets.
+fn synthesize_paar(net: &mut Netlist, inputs: &[NodeId], matrix: &Gf2Matrix) -> Vec<NodeId> {
+    // Working rows as index sets over a growing list of signals.
+    let mut signals: Vec<NodeId> = inputs.to_vec();
+    let mut rows: Vec<Vec<usize>> = matrix
+        .rows
+        .iter()
+        .map(|r| r.exponents().collect())
+        .collect();
+    loop {
+        // Count pair frequencies.
+        use std::collections::HashMap;
+        let mut freq: HashMap<(usize, usize), usize> = HashMap::new();
+        for row in &rows {
+            for (ai, &a) in row.iter().enumerate() {
+                for &b in &row[ai + 1..] {
+                    *freq.entry((a.min(b), a.max(b))).or_insert(0) += 1;
+                }
+            }
+        }
+        let Some((&pair, &count)) = freq
+            .iter()
+            .max_by_key(|(&(a, b), &c)| (c, std::cmp::Reverse((a, b))))
+        else {
+            break;
+        };
+        if count < 2 {
+            break;
+        }
+        // Materialize the pair as a new signal and substitute.
+        let new_sig = net.xor(signals[pair.0], signals[pair.1]);
+        let new_idx = signals.len();
+        signals.push(new_sig);
+        for row in &mut rows {
+            let has_a = row.contains(&pair.0);
+            let has_b = row.contains(&pair.1);
+            if has_a && has_b {
+                row.retain(|&s| s != pair.0 && s != pair.1);
+                row.push(new_idx);
+            }
+        }
+    }
+    rows.iter()
+        .map(|row| {
+            let nodes: Vec<NodeId> = row.iter().map(|&s| signals[s]).collect();
+            net.xor_balanced(&nodes)
+        })
+        .collect()
+}
+
+/// Generates a bit-parallel squarer netlist for `field` (inputs
+/// `a0..a{m−1}`, outputs `c0..c{m−1}` with `C = A²`).
+///
+/// # Examples
+///
+/// ```
+/// use gf2m::Field;
+/// use gf2poly::TypeIiPentanomial;
+/// use rgf2m_core::linear::{generate_squarer, LinearStrategy};
+///
+/// let field = Field::from_pentanomial(&TypeIiPentanomial::new(8, 2)?);
+/// let net = generate_squarer(&field, LinearStrategy::PaarCse);
+/// assert_eq!(net.stats().ands, 0); // squaring is linear: XOR-only
+/// # Ok::<(), gf2poly::PentanomialError>(())
+/// ```
+pub fn generate_squarer(field: &Field, strategy: LinearStrategy) -> Netlist {
+    let m = field.m();
+    let matrix = Gf2Matrix::squaring(field);
+    let mut net = Netlist::new(format!("squarer_m{m}"));
+    let inputs: Vec<NodeId> = (0..m).map(|i| net.input(format!("a{i}"))).collect();
+    let outs = synthesize_linear(&mut net, &inputs, &matrix, strategy);
+    for (k, o) in outs.into_iter().enumerate() {
+        net.output(format!("c{k}"), o);
+    }
+    net
+}
+
+/// Generates a constant-multiplier netlist computing `C = c·A`.
+///
+/// # Examples
+///
+/// ```
+/// use gf2m::Field;
+/// use gf2poly::TypeIiPentanomial;
+/// use rgf2m_core::linear::{generate_constant_multiplier, LinearStrategy};
+///
+/// let field = Field::from_pentanomial(&TypeIiPentanomial::new(8, 2)?);
+/// let c = field.element_from_bits(0x1d);
+/// let net = generate_constant_multiplier(&field, &c, LinearStrategy::PaarCse);
+/// assert_eq!(net.outputs().len(), 8);
+/// # Ok::<(), gf2poly::PentanomialError>(())
+/// ```
+pub fn generate_constant_multiplier(
+    field: &Field,
+    c: &Gf2Poly,
+    strategy: LinearStrategy,
+) -> Netlist {
+    let m = field.m();
+    let matrix = Gf2Matrix::constant_mul(field, c);
+    let mut net = Netlist::new(format!("cmul_m{m}"));
+    let inputs: Vec<NodeId> = (0..m).map(|i| net.input(format!("a{i}"))).collect();
+    let outs = synthesize_linear(&mut net, &inputs, &matrix, strategy);
+    for (k, o) in outs.into_iter().enumerate() {
+        net.output(format!("c{k}"), o);
+    }
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gf2poly::TypeIiPentanomial;
+
+    fn gf256() -> Field {
+        Field::from_pentanomial(&TypeIiPentanomial::new(8, 2).unwrap())
+    }
+
+    #[test]
+    fn squaring_matrix_agrees_with_field() {
+        let f = gf256();
+        let mtx = Gf2Matrix::squaring(&f);
+        for a in 0..=255u64 {
+            let ea = f.element_from_bits(a);
+            assert_eq!(mtx.apply(&ea), f.square(&ea), "a = {a:#x}");
+        }
+    }
+
+    #[test]
+    fn constant_mul_matrix_agrees_with_field() {
+        let f = gf256();
+        for c in [0x02u64, 0x1d, 0x8e, 0xff] {
+            let ec = f.element_from_bits(c);
+            let mtx = Gf2Matrix::constant_mul(&f, &ec);
+            for a in (0..=255u64).step_by(3) {
+                let ea = f.element_from_bits(a);
+                assert_eq!(mtx.apply(&ea), f.mul(&ec, &ea), "c={c:#x} a={a:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn squarer_netlists_are_correct_both_strategies() {
+        let f = gf256();
+        for strategy in [LinearStrategy::Naive, LinearStrategy::PaarCse] {
+            let net = generate_squarer(&f, strategy);
+            assert_eq!(net.stats().ands, 0, "{strategy:?}: linear map");
+            for a in 0..=255u64 {
+                let ea = f.element_from_bits(a);
+                let want = f.square(&ea);
+                let ins: Vec<bool> = (0..8).map(|i| ea.coeff(i)).collect();
+                let out = net.eval_bool(&ins);
+                for k in 0..8 {
+                    assert_eq!(out[k], want.coeff(k), "{strategy:?} a={a:#x} bit {k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn constant_multiplier_netlists_are_correct() {
+        let f = gf256();
+        let c = f.element_from_bits(0x1d);
+        for strategy in [LinearStrategy::Naive, LinearStrategy::PaarCse] {
+            let net = generate_constant_multiplier(&f, &c, strategy);
+            for a in (0..=255u64).step_by(5) {
+                let ea = f.element_from_bits(a);
+                let want = f.mul(&c, &ea);
+                let ins: Vec<bool> = (0..8).map(|i| ea.coeff(i)).collect();
+                let out = net.eval_bool(&ins);
+                for k in 0..8 {
+                    assert_eq!(out[k], want.coeff(k), "{strategy:?} a={a:#x} bit {k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paar_cse_never_uses_more_xors_than_naive() {
+        let f = gf256();
+        for c in [0x03u64, 0x1d, 0x53, 0xc6] {
+            let ec = f.element_from_bits(c);
+            let naive = generate_constant_multiplier(&f, &ec, LinearStrategy::Naive)
+                .stats()
+                .xors;
+            let cse = generate_constant_multiplier(&f, &ec, LinearStrategy::PaarCse)
+                .stats()
+                .xors;
+            assert!(cse <= naive, "c={c:#x}: CSE {cse} > naive {naive}");
+        }
+    }
+
+    #[test]
+    fn paar_cse_finds_real_sharing_on_dense_matrices() {
+        // A deliberately dense matrix: every row contains inputs {0,1}.
+        let rows: Vec<Gf2Poly> = (0..6)
+            .map(|k| Gf2Poly::from_exponents(&[0, 1, 2 + k]))
+            .collect();
+        let mtx = Gf2Matrix::new(rows, 8);
+        let mut net = Netlist::new("dense");
+        let ins: Vec<NodeId> = (0..8).map(|i| net.input(format!("x{i}"))).collect();
+        let outs = synthesize_linear(&mut net, &ins, &mtx, LinearStrategy::PaarCse);
+        for (k, o) in outs.into_iter().enumerate() {
+            net.output(format!("y{k}"), o);
+        }
+        // Naive: 6 rows × 2 XORs = 12; CSE: 1 (shared pair) + 6 = 7.
+        assert_eq!(net.stats().xors, 7);
+    }
+
+    #[test]
+    fn squarer_for_large_field_is_sparse() {
+        // Squaring matrices of pentanomial fields are sparse; the
+        // circuit must stay near-linear in m.
+        let f = Field::from_pentanomial(&TypeIiPentanomial::new(64, 23).unwrap());
+        let net = generate_squarer(&f, LinearStrategy::PaarCse);
+        let s = net.stats();
+        assert!(s.xors < 64 * 4, "squarer too big: {} XORs", s.xors);
+        // Verify on a few random-ish elements.
+        for seed in [1u64, 0xdead_beef, u64::MAX] {
+            let ea = f.element_from_limbs(vec![seed]);
+            let want = f.square(&ea);
+            let ins: Vec<bool> = (0..64).map(|i| ea.coeff(i)).collect();
+            let out = net.eval_bool(&ins);
+            for k in 0..64 {
+                assert_eq!(out[k], want.coeff(k));
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_validation() {
+        let rows = vec![Gf2Poly::from_exponents(&[9])];
+        let result = std::panic::catch_unwind(|| Gf2Matrix::new(rows, 8));
+        assert!(result.is_err(), "row exceeding width must panic");
+    }
+
+    #[test]
+    fn constant_zero_and_one() {
+        let f = gf256();
+        let zero_mul =
+            generate_constant_multiplier(&f, &Gf2Poly::zero(), LinearStrategy::PaarCse);
+        assert_eq!(zero_mul.stats().xors, 0);
+        let one_mul =
+            generate_constant_multiplier(&f, &Gf2Poly::one(), LinearStrategy::PaarCse);
+        assert_eq!(one_mul.stats().xors, 0); // identity matrix: wires only
+        let ins = [true, false, true, true, false, false, true, false];
+        let out = one_mul.eval_bool(&ins);
+        assert_eq!(out, ins.to_vec());
+    }
+}

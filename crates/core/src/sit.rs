@@ -1,0 +1,262 @@
+//! The `S_i` and `T_i` functions of \[6\], built two independent ways.
+//!
+//! `S_i` (1 ≤ i ≤ m) and `T_i` (0 ≤ i ≤ m−2) are the coefficients of the
+//! unreduced product: `S_i = d_{i−1}`, `T_i = d_{m+i}`. The paper's
+//! equation (1) gives them directly in terms of `x_p`/`z^j_i`; this
+//! module implements *both* the direct antidiagonal enumeration and
+//! equation (1), and the test-suite proves them equal for every `m` —
+//! machine-checking the paper's formula.
+
+use std::fmt;
+
+use crate::terms::{d_terms, ProductTerm};
+
+/// The complete family of `S_i`/`T_i` term lists for a given `m`.
+///
+/// # Examples
+///
+/// ```
+/// use rgf2m_core::SiTi;
+///
+/// let sit = SiTi::new(8);
+/// // The paper: S5 = x2 + z0^4 + z1^3.
+/// assert_eq!(sit.format_s(5), "S5 = x2 + z0^4 + z1^3");
+/// // And T6 = x7.
+/// assert_eq!(sit.format_t(6), "T6 = x7");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiTi {
+    m: usize,
+    /// `s[i-1]` holds the terms of `S_i`, `1 ≤ i ≤ m`.
+    s: Vec<Vec<ProductTerm>>,
+    /// `t[i]` holds the terms of `T_i`, `0 ≤ i ≤ m−2`.
+    t: Vec<Vec<ProductTerm>>,
+}
+
+impl SiTi {
+    /// Builds the `S_i`/`T_i` families by direct enumeration of the
+    /// antidiagonals (`S_i = d_{i−1}`, `T_i = d_{m+i}`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m < 2`.
+    pub fn new(m: usize) -> Self {
+        assert!(m >= 2, "need m >= 2");
+        SiTi {
+            m,
+            s: (1..=m).map(|i| d_terms(m, i - 1)).collect(),
+            t: (0..=m - 2).map(|i| d_terms(m, m + i)).collect(),
+        }
+    }
+
+    /// Builds the families using the paper's equation (1) verbatim —
+    /// an independent construction used to cross-check [`SiTi::new`].
+    ///
+    /// Equation (1):
+    /// `S_i = x_p + Σ_{h=0}^{p−1} z^{i−h−1}_h` with `p = ⌊i/2⌋`, the
+    /// `x_p` term present only for odd `i`;
+    /// `T_i = x_q + Σ_{j=1}^{r−(i+1)} z^{m−j}_{i+j}` with
+    /// `q = ⌈m/2⌉ + ⌊i/2⌋`; `x_q` present (and `r = q`) iff `m ≡ i
+    /// (mod 2)`, otherwise absent with `r = ⌈m/2⌉ + ⌈i/2⌉`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m < 2`.
+    pub fn from_equation_1(m: usize) -> Self {
+        assert!(m >= 2, "need m >= 2");
+        let mut s = Vec::with_capacity(m);
+        for i in 1..=m {
+            let p = i / 2;
+            let mut terms = Vec::new();
+            if i % 2 == 1 {
+                terms.push(ProductTerm::x(p));
+            }
+            for h in 0..p {
+                terms.push(ProductTerm::z(h, i - h - 1));
+            }
+            s.push(terms);
+        }
+        let mut t = Vec::with_capacity(m - 1);
+        for i in 0..=m - 2 {
+            let q = m.div_ceil(2) + i / 2;
+            let same_parity = m % 2 == i % 2;
+            let r = if same_parity {
+                q
+            } else {
+                m.div_ceil(2) + i.div_ceil(2)
+            };
+            let mut terms = Vec::new();
+            if same_parity {
+                terms.push(ProductTerm::x(q));
+            }
+            for j in 1..=r.saturating_sub(i + 1) {
+                terms.push(ProductTerm::z(i + j, m - j));
+            }
+            t.push(terms);
+        }
+        SiTi { m, s, t }
+    }
+
+    /// The extension degree `m`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Terms of `S_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ i ≤ m`.
+    pub fn s(&self, i: usize) -> &[ProductTerm] {
+        assert!((1..=self.m).contains(&i), "S_{i} undefined for m={}", self.m);
+        &self.s[i - 1]
+    }
+
+    /// Terms of `T_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ i ≤ m−2`.
+    pub fn t(&self, i: usize) -> &[ProductTerm] {
+        assert!(i <= self.m - 2, "T_{i} undefined for m={}", self.m);
+        &self.t[i]
+    }
+
+    /// Pretty-prints `S_i` in the paper's notation.
+    pub fn format_s(&self, i: usize) -> String {
+        format!("S{i} = {}", format_terms(self.s(i)))
+    }
+
+    /// Pretty-prints `T_i` in the paper's notation.
+    pub fn format_t(&self, i: usize) -> String {
+        format!("T{i} = {}", format_terms(self.t(i)))
+    }
+}
+
+impl fmt::Display for SiTi {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 1..=self.m {
+            writeln!(f, "{}", self.format_s(i))?;
+        }
+        for i in 0..=self.m - 2 {
+            writeln!(f, "{}", self.format_t(i))?;
+        }
+        Ok(())
+    }
+}
+
+fn format_terms(terms: &[ProductTerm]) -> String {
+    if terms.is_empty() {
+        return "0".to_string();
+    }
+    terms
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(" + ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's central identity: equation (1) equals the direct
+    /// antidiagonal enumeration, for a wide range of m (both parities).
+    #[test]
+    fn equation_1_matches_direct_enumeration() {
+        for m in 2..=64 {
+            let direct = SiTi::new(m);
+            let formula = SiTi::from_equation_1(m);
+            for i in 1..=m {
+                let mut a = direct.s(i).to_vec();
+                let mut b = formula.s(i).to_vec();
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "S_{i} for m={m}");
+            }
+            for i in 0..=m - 2 {
+                let mut a = direct.t(i).to_vec();
+                let mut b = formula.t(i).to_vec();
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "T_{i} for m={m}");
+            }
+        }
+    }
+
+    /// Every S/T example the paper prints for GF(2^8), section II.
+    #[test]
+    fn paper_gf256_examples_verbatim() {
+        let sit = SiTi::new(8);
+        let expected_s = [
+            "S1 = x0",
+            "S2 = z0^1",
+            "S3 = x1 + z0^2",
+            "S4 = z0^3 + z1^2",
+            "S5 = x2 + z0^4 + z1^3",
+            "S6 = z0^5 + z1^4 + z2^3",
+            "S7 = x3 + z0^6 + z1^5 + z2^4",
+            "S8 = z0^7 + z1^6 + z2^5 + z3^4",
+        ];
+        for (i, want) in (1..=8).zip(expected_s) {
+            assert_eq!(sit.format_s(i), want);
+        }
+        let expected_t = [
+            "T0 = x4 + z1^7 + z2^6 + z3^5",
+            "T1 = z2^7 + z3^6 + z4^5",
+            "T2 = x5 + z3^7 + z4^6",
+            "T3 = z4^7 + z5^6",
+            "T4 = x6 + z5^7",
+            "T5 = z6^7",
+            "T6 = x7",
+        ];
+        for (i, want) in (0..=6).zip(expected_t) {
+            assert_eq!(sit.format_t(i), want);
+        }
+    }
+
+    #[test]
+    fn odd_m_works_too() {
+        // m = 7: T_i parity rules flip relative to even m.
+        let sit = SiTi::new(7);
+        // T_0 = d_7: pairs (1,6),(2,5),(3,4); m odd, i even → no x term.
+        assert_eq!(
+            sit.t(0),
+            &[
+                ProductTerm::z(1, 6),
+                ProductTerm::z(2, 5),
+                ProductTerm::z(3, 4)
+            ]
+        );
+        // T_1 = d_8: x4 + z2^6 + z3^5 (m, i both odd... i=1 odd, m=7 odd
+        // → same parity → x_q with q = ceil(7/2)+0 = 4).
+        assert_eq!(
+            sit.t(1),
+            &[
+                ProductTerm::x(4),
+                ProductTerm::z(2, 6),
+                ProductTerm::z(3, 5)
+            ]
+        );
+    }
+
+    #[test]
+    fn display_lists_all_functions() {
+        let text = SiTi::new(8).to_string();
+        assert_eq!(text.lines().count(), 8 + 7);
+        assert!(text.contains("S8 = z0^7"));
+        assert!(text.contains("T6 = x7"));
+    }
+
+    #[test]
+    #[should_panic(expected = "S_0 undefined")]
+    fn s_zero_is_rejected() {
+        let _ = SiTi::new(8).s(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "T_7 undefined")]
+    fn t_out_of_range_is_rejected() {
+        let _ = SiTi::new(8).t(7);
+    }
+}

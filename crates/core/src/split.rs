@@ -1,0 +1,289 @@
+//! Splitting `S_i`/`T_i` into complete-binary-tree atoms `S^j_i`/`T^j_i`
+//! (the method of \[7\], Table II of the paper).
+//!
+//! A function with `N` partial products splits along the binary expansion
+//! of `N`: one atom of `2^j` products for every set bit `j`, consuming
+//! the term list in order (the lone `x` term — present iff `N` is odd —
+//! becomes the level-0 atom). Each atom is implementable as a complete
+//! `j`-level tree of 2-input XOR gates, fed by one level of AND gates.
+
+use std::fmt;
+
+use crate::sit::SiTi;
+use crate::terms::{num_products, ProductTerm};
+
+/// Whether an atom came from an `S_i` or a `T_i` function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AtomKind {
+    /// Atom of `S_i = d_{i−1}`.
+    S,
+    /// Atom of `T_i = d_{m+i}`.
+    T,
+}
+
+impl fmt::Display for AtomKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AtomKind::S => write!(f, "S"),
+            AtomKind::T => write!(f, "T"),
+        }
+    }
+}
+
+/// An atom `S^j_i` or `T^j_i`: exactly `2^level` partial products,
+/// implementable as a complete `level`-deep XOR tree.
+///
+/// # Examples
+///
+/// ```
+/// use rgf2m_core::{SplitAtom, AtomKind};
+///
+/// let atoms = SplitAtom::split_all(8);
+/// // Table II: S8 has the single atom S8^3 = (z0^7 + z1^6 + z2^5 + z3^4).
+/// let s8: Vec<_> = atoms.iter().filter(|a| a.kind() == AtomKind::S && a.index() == 8).collect();
+/// assert_eq!(s8.len(), 1);
+/// assert_eq!(s8[0].level(), 3);
+/// assert_eq!(s8[0].to_string(), "S8^3 = (z0^7 + z1^6 + z2^5 + z3^4)");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SplitAtom {
+    kind: AtomKind,
+    index: usize,
+    level: usize,
+    terms: Vec<ProductTerm>,
+}
+
+impl SplitAtom {
+    /// Splits one term list (an `S_i` or `T_i`) into its atoms, lowest
+    /// level first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the term list is empty.
+    pub fn split(kind: AtomKind, index: usize, terms: &[ProductTerm]) -> Vec<SplitAtom> {
+        let total = num_products(terms);
+        assert!(total > 0, "cannot split an empty function");
+        let mut atoms = Vec::new();
+        let mut cursor = 0usize; // index into `terms`
+        for level in 0..usize::BITS as usize {
+            if total & (1 << level) == 0 {
+                continue;
+            }
+            let want = 1usize << level;
+            let mut got = 0usize;
+            let start = cursor;
+            while got < want {
+                got += terms[cursor].num_products();
+                cursor += 1;
+            }
+            debug_assert_eq!(
+                got, want,
+                "term boundaries must align with the binary split"
+            );
+            atoms.push(SplitAtom {
+                kind,
+                index,
+                level,
+                terms: terms[start..cursor].to_vec(),
+            });
+        }
+        debug_assert_eq!(cursor, terms.len());
+        atoms
+    }
+
+    /// Splits every `S_i` and `T_i` of GF(2^m): the full content of the
+    /// paper's Table II (for m = 8), in order `S_1 … S_m, T_0 … T_{m−2}`
+    /// with each function's atoms lowest-level-first.
+    pub fn split_all(m: usize) -> Vec<SplitAtom> {
+        let sit = SiTi::new(m);
+        let mut out = Vec::new();
+        for i in 1..=m {
+            out.extend(SplitAtom::split(AtomKind::S, i, sit.s(i)));
+        }
+        for i in 0..=m - 2 {
+            out.extend(SplitAtom::split(AtomKind::T, i, sit.t(i)));
+        }
+        out
+    }
+
+    /// `S` or `T`.
+    pub fn kind(&self) -> AtomKind {
+        self.kind
+    }
+
+    /// The function index `i` of `S_i`/`T_i`.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The level `j`: the atom holds `2^j` products and costs a `j`-deep
+    /// complete XOR tree.
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// The product terms of the atom.
+    pub fn terms(&self) -> &[ProductTerm] {
+        &self.terms
+    }
+
+    /// Number of partial products (always `2^level`).
+    pub fn num_products(&self) -> usize {
+        num_products(&self.terms)
+    }
+
+    /// The atom's name in the paper's notation, e.g. `S8^3` for `S^3_8`.
+    pub fn name(&self) -> String {
+        format!("{}{}^{}", self.kind, self.index, self.level)
+    }
+}
+
+impl fmt::Display for SplitAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let body = self
+            .terms
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(" + ");
+        if self.terms.len() > 1 {
+            write!(f, "{} = ({})", self.name(), body)
+        } else {
+            write!(f, "{} = {}", self.name(), body)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atom<'a>(atoms: &'a [SplitAtom], kind: AtomKind, index: usize, level: usize) -> &'a SplitAtom {
+        atoms
+            .iter()
+            .find(|a| a.kind() == kind && a.index() == index && a.level() == level)
+            .unwrap_or_else(|| panic!("missing atom {kind}{index}^{level}"))
+    }
+
+    /// The paper's Table II, transcribed in full.
+    #[test]
+    fn table_ii_exact() {
+        let atoms = SplitAtom::split_all(8);
+        let expected = [
+            ("S1^0", "S1^0 = x0"),
+            ("S2^1", "S2^1 = z0^1"),
+            ("S3^0", "S3^0 = x1"),
+            ("S3^1", "S3^1 = z0^2"),
+            ("S4^2", "S4^2 = (z0^3 + z1^2)"),
+            ("S5^0", "S5^0 = x2"),
+            ("S5^2", "S5^2 = (z0^4 + z1^3)"),
+            ("S6^1", "S6^1 = z0^5"),
+            ("S6^2", "S6^2 = (z1^4 + z2^3)"),
+            ("S7^0", "S7^0 = x3"),
+            ("S7^1", "S7^1 = z0^6"),
+            ("S7^2", "S7^2 = (z1^5 + z2^4)"),
+            ("S8^3", "S8^3 = (z0^7 + z1^6 + z2^5 + z3^4)"),
+            ("T0^0", "T0^0 = x4"),
+            ("T0^1", "T0^1 = z1^7"),
+            ("T0^2", "T0^2 = (z2^6 + z3^5)"),
+            ("T1^1", "T1^1 = z2^7"),
+            ("T1^2", "T1^2 = (z3^6 + z4^5)"),
+            ("T2^0", "T2^0 = x5"),
+            ("T2^2", "T2^2 = (z3^7 + z4^6)"),
+            ("T3^2", "T3^2 = (z4^7 + z5^6)"),
+            ("T4^0", "T4^0 = x6"),
+            ("T4^1", "T4^1 = z5^7"),
+            ("T5^1", "T5^1 = z6^7"),
+            ("T6^0", "T6^0 = x7"),
+        ];
+        assert_eq!(atoms.len(), expected.len(), "atom count for m=8");
+        for (name, rendering) in expected {
+            let found = atoms
+                .iter()
+                .find(|a| a.name() == name)
+                .unwrap_or_else(|| panic!("missing atom {name}"));
+            assert_eq!(found.to_string(), rendering);
+        }
+    }
+
+    /// The split decomposition the paper lists below Table II, e.g.
+    /// S7 = S7^2 + S7^1 + S7^0, T2 = T2^2 + T2^0.
+    #[test]
+    fn split_levels_match_paper_decomposition() {
+        let atoms = SplitAtom::split_all(8);
+        let levels = |kind: AtomKind, index: usize| -> Vec<usize> {
+            let mut l: Vec<usize> = atoms
+                .iter()
+                .filter(|a| a.kind() == kind && a.index() == index)
+                .map(SplitAtom::level)
+                .collect();
+            l.sort_unstable();
+            l
+        };
+        assert_eq!(levels(AtomKind::S, 1), vec![0]);
+        assert_eq!(levels(AtomKind::S, 2), vec![1]);
+        assert_eq!(levels(AtomKind::S, 3), vec![0, 1]);
+        assert_eq!(levels(AtomKind::S, 4), vec![2]);
+        assert_eq!(levels(AtomKind::S, 5), vec![0, 2]);
+        assert_eq!(levels(AtomKind::S, 6), vec![1, 2]);
+        assert_eq!(levels(AtomKind::S, 7), vec![0, 1, 2]);
+        assert_eq!(levels(AtomKind::S, 8), vec![3]);
+        assert_eq!(levels(AtomKind::T, 0), vec![0, 1, 2]);
+        assert_eq!(levels(AtomKind::T, 1), vec![1, 2]);
+        assert_eq!(levels(AtomKind::T, 2), vec![0, 2]);
+        assert_eq!(levels(AtomKind::T, 3), vec![2]);
+        assert_eq!(levels(AtomKind::T, 4), vec![0, 1]);
+        assert_eq!(levels(AtomKind::T, 5), vec![1]);
+        assert_eq!(levels(AtomKind::T, 6), vec![0]);
+    }
+
+    #[test]
+    fn atoms_have_power_of_two_products() {
+        for m in [8usize, 13, 16, 33, 64] {
+            for a in SplitAtom::split_all(m) {
+                assert_eq!(a.num_products(), 1 << a.level(), "{}", a.name());
+            }
+        }
+    }
+
+    #[test]
+    fn atoms_partition_their_function() {
+        for m in [8usize, 13, 21] {
+            let sit = SiTi::new(m);
+            let atoms = SplitAtom::split_all(m);
+            for i in 1..=m {
+                let collected: Vec<ProductTerm> = atoms
+                    .iter()
+                    .filter(|a| a.kind() == AtomKind::S && a.index() == i)
+                    .flat_map(|a| a.terms().to_vec())
+                    .collect();
+                let mut sorted = collected.clone();
+                sorted.sort_unstable();
+                let mut want = sit.s(i).to_vec();
+                want.sort_unstable();
+                assert_eq!(sorted, want, "S_{i} partition for m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn max_level_is_log2_m_as_paper_states() {
+        // ρ = ⌊log2 m⌋ bounds the atom level.
+        for m in [8usize, 16, 64] {
+            let rho = (usize::BITS - 1 - m.leading_zeros()) as usize;
+            let max = SplitAtom::split_all(m)
+                .iter()
+                .map(SplitAtom::level)
+                .max()
+                .unwrap();
+            assert!(max <= rho, "m={m}: max level {max} > ρ={rho}");
+        }
+    }
+
+    #[test]
+    fn lone_x_term_becomes_level_zero_atom() {
+        let atoms = SplitAtom::split_all(8);
+        let a = atom(&atoms, AtomKind::T, 6, 0);
+        assert_eq!(a.terms(), &[ProductTerm::x(7)]);
+    }
+}

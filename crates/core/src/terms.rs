@@ -1,0 +1,229 @@
+//! The paper's product terms `x_k` and `z^j_i`, and the term lists of the
+//! unreduced-product coefficients `d_k`.
+
+use std::fmt;
+
+/// One term of an unreduced-product coefficient.
+///
+/// The paper writes products of coordinates of `A = Σ a_i x^i` and
+/// `B = Σ b_i x^i` as:
+///
+/// * `x_k = a_k·b_k` — a single partial product;
+/// * `z^j_i = a_i·b_j + a_j·b_i` (with `i < j`) — a symmetric pair,
+///   i.e. two partial products plus one XOR.
+///
+/// # Examples
+///
+/// ```
+/// use rgf2m_core::ProductTerm;
+///
+/// let x = ProductTerm::x(4);
+/// let z = ProductTerm::z(1, 7);
+/// assert_eq!(x.num_products(), 1);
+/// assert_eq!(z.num_products(), 2);
+/// assert_eq!(z.to_string(), "z1^7");
+/// assert_eq!(z.products(), vec![(1, 7), (7, 1)]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ProductTerm {
+    /// `x_k = a_k · b_k`.
+    X(usize),
+    /// `z^j_i = a_i·b_j + a_j·b_i`, stored with `i < j`.
+    Z {
+        /// The smaller coordinate index.
+        i: usize,
+        /// The larger coordinate index.
+        j: usize,
+    },
+}
+
+impl ProductTerm {
+    /// Creates `x_k`.
+    pub fn x(k: usize) -> Self {
+        ProductTerm::X(k)
+    }
+
+    /// Creates `z^j_i`; the arguments may come in either order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i == j` (that would be `x_i`, not a `z` term).
+    pub fn z(i: usize, j: usize) -> Self {
+        assert_ne!(i, j, "z term requires distinct indices; use x({i})");
+        let (i, j) = if i < j { (i, j) } else { (j, i) };
+        ProductTerm::Z { i, j }
+    }
+
+    /// Number of partial products `a_?·b_?` in the term (1 or 2).
+    pub fn num_products(&self) -> usize {
+        match self {
+            ProductTerm::X(_) => 1,
+            ProductTerm::Z { .. } => 2,
+        }
+    }
+
+    /// The partial products as `(a-index, b-index)` pairs.
+    pub fn products(&self) -> Vec<(usize, usize)> {
+        match *self {
+            ProductTerm::X(k) => vec![(k, k)],
+            ProductTerm::Z { i, j } => vec![(i, j), (j, i)],
+        }
+    }
+
+    /// The unreduced-product coefficient index this term belongs to:
+    /// `x_k ∈ d_{2k}`, `z^j_i ∈ d_{i+j}`.
+    pub fn degree(&self) -> usize {
+        match *self {
+            ProductTerm::X(k) => 2 * k,
+            ProductTerm::Z { i, j } => i + j,
+        }
+    }
+}
+
+impl fmt::Display for ProductTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ProductTerm::X(k) => write!(f, "x{k}"),
+            ProductTerm::Z { i, j } => write!(f, "z{i}^{j}"),
+        }
+    }
+}
+
+/// The term list of the unreduced-product coefficient
+/// `d_k = Σ_{i+j=k} a_i·b_j`, for coordinates of length `m`.
+///
+/// The order matches the paper's presentation: the `x` term first (when
+/// `k` is even and `k/2 < m`), then `z` terms by ascending smaller index.
+///
+/// # Panics
+///
+/// Panics if `k > 2m − 2` (no such coefficient).
+///
+/// # Examples
+///
+/// ```
+/// use rgf2m_core::terms::d_terms;
+/// use rgf2m_core::ProductTerm;
+///
+/// // d_8 for m = 8 — the paper's T_0 = x4 + z1^7 + z2^6 + z3^5.
+/// let t0 = d_terms(8, 8);
+/// assert_eq!(t0[0], ProductTerm::x(4));
+/// assert_eq!(t0[1], ProductTerm::z(1, 7));
+/// assert_eq!(t0.len(), 4);
+/// ```
+pub fn d_terms(m: usize, k: usize) -> Vec<ProductTerm> {
+    assert!(k <= 2 * m - 2, "d_{k} does not exist for m = {m}");
+    let lo = k.saturating_sub(m - 1);
+    let mut out = Vec::new();
+    // x term (i = j = k/2) first, per the paper's ordering.
+    if k.is_multiple_of(2) && k / 2 < m {
+        out.push(ProductTerm::x(k / 2));
+    }
+    for i in lo..k.div_ceil(2) {
+        let j = k - i;
+        if j < m && i != j {
+            out.push(ProductTerm::z(i, j));
+        }
+    }
+    out
+}
+
+/// Total number of partial products in a term list.
+pub fn num_products(terms: &[ProductTerm]) -> usize {
+    terms.iter().map(ProductTerm::num_products).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn d_terms_product_counts() {
+        // |d_k| = k+1 products for k < m; 2m−1−k products for k ≥ m.
+        let m = 8;
+        for k in 0..=2 * m - 2 {
+            let expect = if k < m { k + 1 } else { 2 * m - 1 - k };
+            assert_eq!(num_products(&d_terms(m, k)), expect, "d_{k}");
+        }
+    }
+
+    #[test]
+    fn d_terms_cover_exactly_the_antidiagonal() {
+        let m = 8;
+        for k in 0..=2 * m - 2 {
+            let mut pairs: Vec<(usize, usize)> = d_terms(m, k)
+                .iter()
+                .flat_map(|t| t.products())
+                .collect();
+            pairs.sort_unstable();
+            let mut expect: Vec<(usize, usize)> = (0..m)
+                .flat_map(|i| (0..m).map(move |j| (i, j)))
+                .filter(|&(i, j)| i + j == k)
+                .collect();
+            expect.sort_unstable();
+            assert_eq!(pairs, expect, "d_{k}");
+        }
+    }
+
+    #[test]
+    fn paper_s_terms_for_gf256() {
+        // S_i = d_{i−1}; spot-check the examples printed in the paper.
+        // S5 = x2 + z0^4 + z1^3.
+        assert_eq!(
+            d_terms(8, 4),
+            vec![
+                ProductTerm::x(2),
+                ProductTerm::z(0, 4),
+                ProductTerm::z(1, 3)
+            ]
+        );
+        // S8 = z0^7 + z1^6 + z2^5 + z3^4.
+        assert_eq!(
+            d_terms(8, 7),
+            vec![
+                ProductTerm::z(0, 7),
+                ProductTerm::z(1, 6),
+                ProductTerm::z(2, 5),
+                ProductTerm::z(3, 4)
+            ]
+        );
+    }
+
+    #[test]
+    fn paper_t_terms_for_gf256() {
+        // T_3 = z4^7 + z5^6.
+        assert_eq!(
+            d_terms(8, 11),
+            vec![ProductTerm::z(4, 7), ProductTerm::z(5, 6)]
+        );
+        // T_6 = x7.
+        assert_eq!(d_terms(8, 14), vec![ProductTerm::x(7)]);
+    }
+
+    #[test]
+    fn term_degree_is_consistent() {
+        let m = 11;
+        for k in 0..=2 * m - 2 {
+            for t in d_terms(m, k) {
+                assert_eq!(t.degree(), k);
+            }
+        }
+    }
+
+    #[test]
+    fn z_normalizes_order() {
+        assert_eq!(ProductTerm::z(7, 1), ProductTerm::z(1, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct indices")]
+    fn z_rejects_equal_indices() {
+        let _ = ProductTerm::z(3, 3);
+    }
+
+    #[test]
+    fn display_notation() {
+        assert_eq!(ProductTerm::x(0).to_string(), "x0");
+        assert_eq!(ProductTerm::z(2, 6).to_string(), "z2^6");
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests for the term algebra, splitting and coefficient
+//! tables over randomized extension degrees.
+
+use gf2m::Field;
+use gf2poly::TypeIiPentanomial;
+use proptest::prelude::*;
+use rgf2m_core::linear::{Gf2Matrix, LinearStrategy};
+use rgf2m_core::terms::{d_terms, num_products};
+use rgf2m_core::{AtomKind, CoefficientTable, SiTi, SplitAtom};
+
+proptest! {
+    #[test]
+    fn d_terms_partition_products(m in 2usize..80, k_frac in 0.0f64..1.0) {
+        let k = ((2 * m - 2) as f64 * k_frac) as usize;
+        let terms = d_terms(m, k);
+        // Count and degree invariants.
+        let expect = if k < m { k + 1 } else { 2 * m - 1 - k };
+        prop_assert_eq!(num_products(&terms), expect);
+        for t in &terms {
+            prop_assert_eq!(t.degree(), k);
+        }
+        // No duplicate product pairs.
+        let mut pairs: Vec<(usize, usize)> = terms.iter().flat_map(|t| t.products()).collect();
+        let before = pairs.len();
+        pairs.sort_unstable();
+        pairs.dedup();
+        prop_assert_eq!(pairs.len(), before);
+    }
+
+    #[test]
+    fn equation_1_equals_direct(m in 2usize..128) {
+        let direct = SiTi::new(m);
+        let formula = SiTi::from_equation_1(m);
+        // Spot-check a pseudo-random subset of indices per case.
+        for i in [1, m / 3 + 1, m / 2 + 1, m].iter().copied() {
+            let mut a = direct.s(i).to_vec();
+            let mut b = formula.s(i).to_vec();
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b);
+        }
+        for i in [0, m / 4, m.saturating_sub(2)].iter().copied() {
+            let mut a = direct.t(i).to_vec();
+            let mut b = formula.t(i).to_vec();
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn split_atoms_have_exact_power_of_two_sizes(m in 2usize..64) {
+        for atom in SplitAtom::split_all(m) {
+            prop_assert_eq!(atom.num_products(), 1usize << atom.level());
+        }
+    }
+
+    #[test]
+    fn split_atoms_partition_each_function(m in 2usize..48) {
+        let sit = SiTi::new(m);
+        let atoms = SplitAtom::split_all(m);
+        for i in 1..=m {
+            let got: usize = atoms
+                .iter()
+                .filter(|a| a.kind() == AtomKind::S && a.index() == i)
+                .map(SplitAtom::num_products)
+                .sum();
+            prop_assert_eq!(got, num_products(sit.s(i)));
+        }
+    }
+
+    #[test]
+    fn coefficient_table_rows_start_with_s_k_plus_1(
+        mn in proptest::sample::select(vec![(8usize, 2usize), (13, 5), (16, 3), (64, 23)]),
+    ) {
+        let (m, n) = mn;
+        let field = Field::from_pentanomial(&TypeIiPentanomial::new(m, n).unwrap());
+        let table = CoefficientTable::new(&field);
+        for k in 0..m {
+            prop_assert_eq!(table.row(k).s_index, k + 1);
+            // T indices strictly ascending and within range.
+            let t = &table.row(k).t_indices;
+            for w in t.windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+            if let Some(&last) = t.last() {
+                prop_assert!(last <= m - 2);
+            }
+        }
+    }
+
+    #[test]
+    fn linear_matrices_are_linear(
+        a_bits in any::<u64>(),
+        b_bits in any::<u64>(),
+        c_bits in 1u64..=255,
+    ) {
+        let field = Field::from_pentanomial(&TypeIiPentanomial::new(8, 2).unwrap());
+        let sq = Gf2Matrix::squaring(&field);
+        let cm = Gf2Matrix::constant_mul(&field, &field.element_from_bits(c_bits));
+        let a = field.element_from_bits(a_bits);
+        let b = field.element_from_bits(b_bits);
+        let sum = field.add(&a, &b);
+        // M(a + b) = M(a) + M(b) for both matrices.
+        prop_assert_eq!(sq.apply(&sum), field.add(&sq.apply(&a), &sq.apply(&b)));
+        prop_assert_eq!(cm.apply(&sum), field.add(&cm.apply(&a), &cm.apply(&b)));
+    }
+
+    #[test]
+    fn paar_cse_preserves_semantics_on_random_matrices(
+        rows in proptest::collection::vec(any::<u16>(), 4..12),
+        a_bits in any::<u16>(),
+    ) {
+        use netlist::Netlist;
+        let width = 16usize;
+        let matrix = Gf2Matrix::new(
+            rows.iter()
+                .map(|&r| gf2poly::Gf2Poly::from_limbs(vec![r as u64]))
+                .collect(),
+            width,
+        );
+        let build = |strategy| {
+            let mut net = Netlist::new("m");
+            let ins: Vec<_> = (0..width).map(|i| net.input(format!("x{i}"))).collect();
+            let outs = rgf2m_core::linear::synthesize_linear(&mut net, &ins, &matrix, strategy);
+            for (k, o) in outs.into_iter().enumerate() {
+                net.output(format!("y{k}"), o);
+            }
+            net
+        };
+        let naive = build(LinearStrategy::Naive);
+        let cse = build(LinearStrategy::PaarCse);
+        let ins: Vec<bool> = (0..width).map(|i| (a_bits >> i) & 1 == 1).collect();
+        prop_assert_eq!(naive.eval_bool(&ins), cse.eval_bool(&ins));
+        prop_assert!(cse.stats().xors <= naive.stats().xors);
+    }
+}

@@ -1,0 +1,276 @@
+//! The end-to-end implementation flow: DCE → map → verify → pack →
+//! place → time → report.
+
+use std::fmt;
+
+use netlist::Netlist;
+
+use crate::device::Device;
+use crate::lut::LutNetlist;
+use crate::map::{map_to_luts, verify_mapping, MapOptions};
+use crate::pack::{pack_slices, Packing};
+use crate::place::{place, PlaceOptions, Placement};
+use crate::timing::{analyze, TimingReport};
+
+/// The quadruple the paper reports per design in Table V, plus context.
+#[derive(Debug, Clone)]
+pub struct ImplReport {
+    /// Design name.
+    pub name: String,
+    /// Number of LUTs after mapping.
+    pub luts: usize,
+    /// Number of slices after packing.
+    pub slices: usize,
+    /// LUT logic depth.
+    pub depth: u32,
+    /// Post-place critical path in ns.
+    pub time_ns: f64,
+}
+
+impl ImplReport {
+    /// The paper's area×time metric: `LUTs × ns` (less is better).
+    pub fn area_time(&self) -> f64 {
+        self.luts as f64 * self.time_ns
+    }
+}
+
+impl fmt::Display for ImplReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} LUTs, {} slices, depth {}, {:.2} ns, A×T {:.2}",
+            self.name,
+            self.luts,
+            self.slices,
+            self.depth,
+            self.time_ns,
+            self.area_time()
+        )
+    }
+}
+
+/// All intermediate artifacts of a flow run, for inspection and tests.
+#[derive(Debug, Clone)]
+pub struct FlowArtifacts {
+    /// The mapped LUT netlist.
+    pub mapped: LutNetlist,
+    /// The slice packing.
+    pub packing: Packing,
+    /// The placement.
+    pub placement: Placement,
+    /// The timing report.
+    pub timing: TimingReport,
+    /// The summary.
+    pub report: ImplReport,
+}
+
+/// The end-to-end FPGA implementation flow.
+///
+/// Owns a [`Device`] model, [`MapOptions`] and [`PlaceOptions`]; running
+/// it on a gate netlist performs dead-code elimination, technology
+/// mapping (re-verified against the source netlist on random vectors —
+/// a mapping that changes functionality is a hard error), slice packing,
+/// simulated-annealing placement and static timing.
+///
+/// # Examples
+///
+/// ```
+/// use netlist::Netlist;
+/// use rgf2m_fpga::FpgaFlow;
+///
+/// let mut net = Netlist::new("maj");
+/// let a = net.input("a");
+/// let b = net.input("b");
+/// let c = net.input("c");
+/// let ab = net.and(a, b);
+/// let bc = net.and(b, c);
+/// let ca = net.and(c, a);
+/// let x = net.xor(ab, bc);
+/// let y = net.xor(x, ca);
+/// net.output("maj", y);
+///
+/// let report = FpgaFlow::new().run(&net);
+/// assert_eq!(report.luts, 1);
+/// assert_eq!(report.slices, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FpgaFlow {
+    device: Device,
+    map_options: MapOptions,
+    place_options: PlaceOptions,
+    verify_rounds: usize,
+    resynthesize: bool,
+}
+
+impl FpgaFlow {
+    /// A flow with the default Artix-7 device and default options
+    /// (resynthesis enabled — the XST-like behaviour).
+    pub fn new() -> Self {
+        FpgaFlow {
+            device: Device::artix7(),
+            map_options: MapOptions::new(),
+            place_options: PlaceOptions::default(),
+            verify_rounds: 4,
+            resynthesize: true,
+        }
+    }
+
+    /// Enables or disables the XOR-cluster resynthesis pass. Disabling
+    /// it models a synthesiser that maps the netlist purely structurally
+    /// — useful for the freedom ablation.
+    pub fn with_resynthesis(mut self, on: bool) -> Self {
+        self.resynthesize = on;
+        self
+    }
+
+    /// Replaces the device model.
+    pub fn with_device(mut self, device: Device) -> Self {
+        self.device = device;
+        self
+    }
+
+    /// Replaces the mapping options.
+    pub fn with_map_options(mut self, opts: MapOptions) -> Self {
+        self.map_options = opts;
+        self
+    }
+
+    /// Replaces the placement options.
+    pub fn with_place_options(mut self, opts: PlaceOptions) -> Self {
+        self.place_options = opts;
+        self
+    }
+
+    /// Sets the number of 64-lane random verification rounds after
+    /// mapping (0 disables re-verification).
+    pub fn with_verify_rounds(mut self, rounds: usize) -> Self {
+        self.verify_rounds = rounds;
+        self
+    }
+
+    /// The device model in use.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Runs the flow, returning the Table V-style summary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if post-mapping verification fails (an internal invariant:
+    /// the mapper must preserve functionality).
+    pub fn run(&self, net: &Netlist) -> ImplReport {
+        self.run_detailed(net).report
+    }
+
+    /// Runs the flow and returns every intermediate artifact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if post-mapping verification fails.
+    pub fn run_detailed(&self, net: &Netlist) -> FlowArtifacts {
+        let clean = net.eliminate_dead_code();
+        let synth = if self.resynthesize {
+            crate::resynth::rebalance_xors(&clean, self.map_options.k)
+        } else {
+            clean.clone()
+        };
+        let mapped = map_to_luts(&synth, &self.map_options);
+        if self.verify_rounds > 0 {
+            // Verify against the *pre-resynthesis* netlist so both the
+            // resynthesiser and the mapper are covered by the check.
+            assert!(
+                verify_mapping(&clean, &mapped, self.verify_rounds, 0xC0FFEE),
+                "synthesis flow changed the function of {}",
+                net.name()
+            );
+        }
+        let packing = pack_slices(&mapped, self.device.luts_per_slice);
+        let placement = place(&mapped, &packing, &self.place_options);
+        let timing = analyze(&mapped, &packing, &placement, &self.device);
+        let report = ImplReport {
+            name: net.name().to_string(),
+            luts: mapped.num_luts(),
+            slices: packing.num_slices(),
+            depth: mapped.depth(),
+            time_ns: timing.critical_ns,
+        };
+        FlowArtifacts {
+            mapped,
+            packing,
+            placement,
+            timing,
+            report,
+        }
+    }
+}
+
+impl Default for FpgaFlow {
+    fn default() -> Self {
+        FpgaFlow::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_tree(leaves: usize) -> Netlist {
+        let mut net = Netlist::new(format!("xor{leaves}"));
+        let ins: Vec<_> = (0..leaves).map(|i| net.input(format!("x{i}"))).collect();
+        let root = net.xor_balanced(&ins);
+        net.output("y", root);
+        net
+    }
+
+    #[test]
+    fn flow_produces_consistent_artifacts() {
+        let net = xor_tree(20);
+        let artifacts = FpgaFlow::new().run_detailed(&net);
+        assert_eq!(artifacts.report.luts, artifacts.mapped.num_luts());
+        assert_eq!(artifacts.report.slices, artifacts.packing.num_slices());
+        assert!(artifacts.report.time_ns > 0.0);
+        assert!(artifacts.report.area_time() > 0.0);
+        assert_eq!(artifacts.report.depth, 2);
+    }
+
+    #[test]
+    fn flow_is_deterministic() {
+        let net = xor_tree(48);
+        let r1 = FpgaFlow::new().run(&net);
+        let r2 = FpgaFlow::new().run(&net);
+        assert_eq!(r1.luts, r2.luts);
+        assert_eq!(r1.slices, r2.slices);
+        assert_eq!(r1.time_ns, r2.time_ns);
+    }
+
+    #[test]
+    fn dead_logic_does_not_cost_luts() {
+        let mut net = Netlist::new("dead");
+        let a = net.input("a");
+        let b = net.input("b");
+        let live = net.xor(a, b);
+        let d1 = net.and(a, b);
+        let _d2 = net.xor(d1, a);
+        net.output("y", live);
+        let report = FpgaFlow::new().run(&net);
+        assert_eq!(report.luts, 1);
+    }
+
+    #[test]
+    fn bigger_designs_cost_more_area_time() {
+        let small = FpgaFlow::new().run(&xor_tree(8));
+        let big = FpgaFlow::new().run(&xor_tree(128));
+        assert!(big.luts > small.luts);
+        assert!(big.area_time() > small.area_time());
+    }
+
+    #[test]
+    fn report_display_mentions_all_metrics() {
+        let r = FpgaFlow::new().run(&xor_tree(8));
+        let text = r.to_string();
+        assert!(text.contains("LUTs"));
+        assert!(text.contains("ns"));
+        assert!(text.contains("A×T"));
+    }
+}

@@ -1,0 +1,61 @@
+//! FPGA synthesis substrate: technology mapping, packing, placement and
+//! static timing for Artix-7-class devices.
+//!
+//! The paper evaluates its multipliers *post-place-and-route* on a
+//! Xilinx Artix-7 (ISE 14.7 / XST). That flow is proprietary; this crate
+//! implements the equivalent pipeline from scratch so the workspace can
+//! regenerate Table V end to end (see DESIGN.md §2 for the substitution
+//! argument):
+//!
+//! 0. [`resynth`] — technology-independent XOR-cluster re-association
+//!    (the "synthesizer freedom" the paper's flat method exists to
+//!    exploit);
+//! 1. [`map`] — **priority-cuts k-LUT technology mapping** (k = 6):
+//!    depth-oriented labelling followed by area-flow refinement, with a
+//!    fanout-preserving mode that models a conservative synthesiser and
+//!    a free mode that models full restructuring freedom;
+//! 2. [`lut`] — the mapped LUT netlist, with truth-table extraction and
+//!    bit-parallel simulation for *post-mapping re-verification*;
+//! 3. [`pack`] — slice packing (4 LUT6 per slice, connectivity-driven);
+//! 4. [`place`] — deterministic simulated-annealing placement on a slice
+//!    grid;
+//! 5. [`timing`] — static timing with IOB, LUT, fanout and wire-length
+//!    dependent net delays;
+//! 6. [`flow`] — the end-to-end [`flow::FpgaFlow`] producing the
+//!    LUTs / Slices / ns / A×T quadruple of the paper's Table V.
+//!
+//! # Examples
+//!
+//! ```
+//! use netlist::Netlist;
+//! use rgf2m_fpga::flow::FpgaFlow;
+//!
+//! let mut net = Netlist::new("xor3");
+//! let a = net.input("a");
+//! let b = net.input("b");
+//! let c = net.input("c");
+//! let ab = net.xor(a, b);
+//! let abc = net.xor(ab, c);
+//! net.output("y", abc);
+//!
+//! let report = FpgaFlow::new().run(&net);
+//! assert_eq!(report.luts, 1);          // a 3-input XOR fits one LUT6
+//! assert!(report.time_ns > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod flow;
+pub mod lut;
+pub mod map;
+pub mod pack;
+pub mod place;
+pub mod resynth;
+pub mod timing;
+
+pub use device::Device;
+pub use flow::{FpgaFlow, ImplReport};
+pub use lut::LutNetlist;
+pub use map::{MapMode, MapOptions};

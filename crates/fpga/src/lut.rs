@@ -1,0 +1,274 @@
+//! The mapped LUT-level netlist.
+
+use std::fmt;
+
+/// A signal feeding a LUT input or a primary output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Signal {
+    /// Primary input by index.
+    Input(u32),
+    /// Output of LUT number `.0`.
+    Lut(u32),
+    /// A constant value.
+    Const(bool),
+}
+
+/// One k-input LUT: its input signals and truth table.
+///
+/// Bit `idx` of `truth` is the output for the input assignment where
+/// input `i` contributes bit `i` of `idx`. With `k ≤ 6` the table fits a
+/// single `u64`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lut {
+    /// Input signals, low index = low truth-table variable.
+    pub inputs: Vec<Signal>,
+    /// Truth table over the inputs.
+    pub truth: u64,
+}
+
+/// A technology-mapped netlist of k-input LUTs.
+///
+/// Produced by [`crate::map::map_to_luts`]; simulatable so every mapping
+/// can be re-verified against its source gate netlist.
+#[derive(Debug, Clone)]
+pub struct LutNetlist {
+    name: String,
+    k: usize,
+    input_names: Vec<String>,
+    luts: Vec<Lut>,
+    outputs: Vec<(String, Signal)>,
+}
+
+impl LutNetlist {
+    /// Creates an empty LUT netlist (used by the mapper).
+    pub(crate) fn new(
+        name: String,
+        k: usize,
+        input_names: Vec<String>,
+    ) -> Self {
+        LutNetlist {
+            name,
+            k,
+            input_names,
+            luts: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    pub(crate) fn push_lut(&mut self, lut: Lut) -> u32 {
+        assert!(lut.inputs.len() <= self.k, "LUT exceeds {} inputs", self.k);
+        let id = self.luts.len() as u32;
+        self.luts.push(lut);
+        id
+    }
+
+    pub(crate) fn push_output(&mut self, name: String, sig: Signal) {
+        self.outputs.push((name, sig));
+    }
+
+    /// The design name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The LUT input width `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of LUTs.
+    pub fn num_luts(&self) -> usize {
+        self.luts.len()
+    }
+
+    /// The LUTs, in topological order.
+    pub fn luts(&self) -> &[Lut] {
+        &self.luts
+    }
+
+    /// Primary input names.
+    pub fn input_names(&self) -> &[String] {
+        &self.input_names
+    }
+
+    /// Primary outputs.
+    pub fn outputs(&self) -> &[(String, Signal)] {
+        &self.outputs
+    }
+
+    /// LUT logic depth: maximum number of LUTs on any input→output path.
+    pub fn depth(&self) -> u32 {
+        let mut d = vec![0u32; self.luts.len()];
+        for (i, lut) in self.luts.iter().enumerate() {
+            let mut m = 0;
+            for s in &lut.inputs {
+                if let Signal::Lut(j) = s {
+                    m = m.max(d[*j as usize] + 1);
+                }
+            }
+            d[i] = m.max(1);
+        }
+        self.outputs
+            .iter()
+            .map(|(_, s)| match s {
+                Signal::Lut(j) => d[*j as usize],
+                _ => 0,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Evaluates 64 lanes at once, mirroring
+    /// [`netlist::Netlist::eval_words`]: bit `l` of `inputs[i]` is the
+    /// value of input `i` in lane `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the number of inputs.
+    pub fn eval_words(&self, inputs: &[u64]) -> Vec<u64> {
+        assert_eq!(inputs.len(), self.input_names.len());
+        let mut values = vec![0u64; self.luts.len()];
+        for (i, lut) in self.luts.iter().enumerate() {
+            let in_words: Vec<u64> = lut
+                .inputs
+                .iter()
+                .map(|s| self.signal_word(s, inputs, &values))
+                .collect();
+            let mut out = 0u64;
+            for lane in 0..64 {
+                let mut idx = 0usize;
+                for (bit, w) in in_words.iter().enumerate() {
+                    if (w >> lane) & 1 == 1 {
+                        idx |= 1 << bit;
+                    }
+                }
+                if (lut.truth >> idx) & 1 == 1 {
+                    out |= 1 << lane;
+                }
+            }
+            values[i] = out;
+        }
+        self.outputs
+            .iter()
+            .map(|(_, s)| self.signal_word(s, inputs, &values))
+            .collect()
+    }
+
+    fn signal_word(&self, s: &Signal, inputs: &[u64], values: &[u64]) -> u64 {
+        match s {
+            Signal::Input(i) => inputs[*i as usize],
+            Signal::Lut(j) => values[*j as usize],
+            Signal::Const(false) => 0,
+            Signal::Const(true) => u64::MAX,
+        }
+    }
+
+    /// Fanout of every signal source: number of LUT inputs plus primary
+    /// outputs each LUT (by id) drives. Indexed like `luts`.
+    pub fn lut_fanouts(&self) -> Vec<usize> {
+        let mut f = vec![0usize; self.luts.len()];
+        for lut in &self.luts {
+            for s in &lut.inputs {
+                if let Signal::Lut(j) = s {
+                    f[*j as usize] += 1;
+                }
+            }
+        }
+        for (_, s) in &self.outputs {
+            if let Signal::Lut(j) = s {
+                f[*j as usize] += 1;
+            }
+        }
+        f
+    }
+}
+
+impl fmt::Display for LutNetlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} LUT{}(k={}), depth {}",
+            self.name,
+            self.num_luts(),
+            if self.num_luts() == 1 { "" } else { "s" },
+            self.k,
+            self.depth()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor2_lut() -> LutNetlist {
+        let mut n = LutNetlist::new("x".into(), 6, vec!["a".into(), "b".into()]);
+        let id = n.push_lut(Lut {
+            inputs: vec![Signal::Input(0), Signal::Input(1)],
+            truth: 0b0110,
+        });
+        n.push_output("y".into(), Signal::Lut(id));
+        n
+    }
+
+    #[test]
+    fn xor2_truth_table() {
+        let n = xor2_lut();
+        let out = n.eval_words(&[0b0101, 0b0011]);
+        assert_eq!(out[0] & 0xF, 0b0110);
+        assert_eq!(n.depth(), 1);
+        assert_eq!(n.num_luts(), 1);
+    }
+
+    #[test]
+    fn chained_luts_depth() {
+        let mut n = LutNetlist::new("c".into(), 6, vec!["a".into()]);
+        let l0 = n.push_lut(Lut {
+            inputs: vec![Signal::Input(0)],
+            truth: 0b01, // NOT a
+        });
+        let l1 = n.push_lut(Lut {
+            inputs: vec![Signal::Lut(l0)],
+            truth: 0b01, // NOT again
+        });
+        n.push_output("y".into(), Signal::Lut(l1));
+        assert_eq!(n.depth(), 2);
+        // Double negation is identity.
+        assert_eq!(n.eval_words(&[0xDEAD])[0], 0xDEAD);
+    }
+
+    #[test]
+    fn const_signals_evaluate() {
+        let mut n = LutNetlist::new("k".into(), 6, vec![]);
+        n.push_output("zero".into(), Signal::Const(false));
+        n.push_output("one".into(), Signal::Const(true));
+        let out = n.eval_words(&[]);
+        assert_eq!(out, vec![0, u64::MAX]);
+    }
+
+    #[test]
+    fn fanout_counts() {
+        let mut n = LutNetlist::new("f".into(), 6, vec!["a".into(), "b".into()]);
+        let l0 = n.push_lut(Lut {
+            inputs: vec![Signal::Input(0), Signal::Input(1)],
+            truth: 0b1000,
+        });
+        let l1 = n.push_lut(Lut {
+            inputs: vec![Signal::Lut(l0)],
+            truth: 0b01,
+        });
+        n.push_output("y0".into(), Signal::Lut(l0));
+        n.push_output("y1".into(), Signal::Lut(l1));
+        assert_eq!(n.lut_fanouts(), vec![2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 6 inputs")]
+    fn rejects_oversized_lut() {
+        let mut n = LutNetlist::new("t".into(), 6, vec![]);
+        n.push_lut(Lut {
+            inputs: vec![Signal::Const(false); 7],
+            truth: 0,
+        });
+    }
+}

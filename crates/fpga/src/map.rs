@@ -1,0 +1,510 @@
+//! Priority-cuts k-LUT technology mapping.
+//!
+//! The classic algorithm family behind ABC's `if` command and commercial
+//! mappers: enumerate a bounded set of k-feasible cuts per node, label
+//! nodes with their optimal mapped depth, then select covering cuts
+//! under required-time constraints while minimizing area flow.
+
+use std::collections::HashMap;
+
+use netlist::{analysis, Gate, Netlist, NodeId};
+
+use crate::lut::{Lut, LutNetlist, Signal};
+
+/// How much restructuring freedom the mapper has.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MapMode {
+    /// Cones may absorb multi-fanout internal nodes (duplicating their
+    /// logic into several LUTs) — full synthesis freedom, the behaviour
+    /// the paper's *proposed* flat netlists are designed to exploit.
+    Free,
+    /// Multi-fanout nodes act as cut barriers: every shared node becomes
+    /// its own LUT root. Models a conservative synthesiser that honours
+    /// the structural sharing present in the input netlist — the
+    /// behaviour the parenthesised netlists of \[7\] force.
+    FanoutPreserving,
+}
+
+/// Options controlling [`map_to_luts`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MapOptions {
+    /// LUT input width `k` (≤ 6).
+    pub k: usize,
+    /// Priority-cut list length per node.
+    pub cuts_per_node: usize,
+    /// Restructuring freedom.
+    pub mode: MapMode,
+}
+
+impl MapOptions {
+    /// Default options: k = 6, 8 cuts per node, free restructuring.
+    pub fn new() -> Self {
+        MapOptions {
+            k: 6,
+            cuts_per_node: 8,
+            mode: MapMode::Free,
+        }
+    }
+
+    /// Sets the LUT width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is 0 or greater than 6 (truth tables are stored in
+    /// one `u64`).
+    pub fn with_k(mut self, k: usize) -> Self {
+        assert!((1..=6).contains(&k), "k must be in 1..=6");
+        self.k = k;
+        self
+    }
+
+    /// Sets the mapping mode.
+    pub fn with_mode(mut self, mode: MapMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the priority-cut list length.
+    pub fn with_cuts_per_node(mut self, c: usize) -> Self {
+        assert!(c >= 1);
+        self.cuts_per_node = c;
+        self
+    }
+}
+
+impl Default for MapOptions {
+    fn default() -> Self {
+        MapOptions::new()
+    }
+}
+
+/// A k-feasible cut: sorted leaf node indices.
+#[derive(Debug, Clone)]
+struct Cut {
+    leaves: Vec<u32>,
+    /// Mapped depth if this cut implements its root.
+    depth: u32,
+    /// Area-flow estimate of this cut.
+    area_flow: f64,
+}
+
+/// Merges two sorted leaf sets; `None` if the union exceeds `k`.
+fn merge_leaves(a: &[u32], b: &[u32], k: usize) -> Option<Vec<u32>> {
+    let mut out = Vec::with_capacity(k);
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() || j < b.len() {
+        let next = match (a.get(i), b.get(j)) {
+            (Some(&x), Some(&y)) if x == y => {
+                i += 1;
+                j += 1;
+                x
+            }
+            (Some(&x), Some(&y)) if x < y => {
+                i += 1;
+                x
+            }
+            (Some(_), Some(&y)) => {
+                j += 1;
+                y
+            }
+            (Some(&x), None) => {
+                i += 1;
+                x
+            }
+            (None, Some(&y)) => {
+                j += 1;
+                y
+            }
+            (None, None) => unreachable!(),
+        };
+        if out.len() == k {
+            return None;
+        }
+        out.push(next);
+    }
+    Some(out)
+}
+
+/// Per-node mapping state.
+struct NodeInfo {
+    /// Priority cuts (non-trivial first, trivial cut always last).
+    cuts: Vec<Cut>,
+    /// Optimal mapped depth (0 for inputs/constants).
+    label: u32,
+    /// Area-flow of the best cut.
+    area_flow: f64,
+}
+
+/// Maps a gate netlist to k-input LUTs.
+///
+/// Returns a [`LutNetlist`] with the same interface (input order and
+/// output names). Every mapping should be re-verified with
+/// [`verify_mapping`]; the flow does this automatically.
+///
+/// # Panics
+///
+/// Panics if `opts.k > 6`.
+pub fn map_to_luts(net: &Netlist, opts: &MapOptions) -> LutNetlist {
+    assert!(opts.k <= 6, "truth tables limited to k <= 6");
+    let n = net.len();
+    let fanouts = analysis::fanouts(net);
+    let mut info: Vec<NodeInfo> = Vec::with_capacity(n);
+
+    // Phase 1: cut enumeration + depth labels + area flow, in topo order.
+    for id in net.node_ids() {
+        let idx = id.index();
+        let node_info = match net.gate(id) {
+            Gate::Input(_) | Gate::Const(_) => NodeInfo {
+                cuts: vec![Cut {
+                    leaves: vec![idx as u32],
+                    depth: 0,
+                    area_flow: 0.0,
+                }],
+                label: 0,
+                area_flow: 0.0,
+            },
+            Gate::And(a, b) | Gate::Xor(a, b) => {
+                let mut cands: Vec<Cut> = Vec::new();
+                let use_trivial_only = |child: NodeId| {
+                    opts.mode == MapMode::FanoutPreserving
+                        && fanouts[child.index()] > 1
+                        && matches!(net.gate(child), Gate::And(_, _) | Gate::Xor(_, _))
+                };
+                let child_cuts = |child: NodeId, info: &[NodeInfo]| -> Vec<Vec<u32>> {
+                    if use_trivial_only(child) {
+                        vec![vec![child.index() as u32]]
+                    } else {
+                        info[child.index()]
+                            .cuts
+                            .iter()
+                            .map(|c| c.leaves.clone())
+                            .collect()
+                    }
+                };
+                let ca = child_cuts(a, &info);
+                let cb = child_cuts(b, &info);
+                for la in &ca {
+                    for lb in &cb {
+                        if let Some(leaves) = merge_leaves(la, lb, opts.k) {
+                            if cands.iter().any(|c| c.leaves == leaves) {
+                                continue;
+                            }
+                            let depth = 1 + leaves
+                                .iter()
+                                .map(|&l| info[l as usize].label)
+                                .max()
+                                .unwrap_or(0);
+                            let area_flow = (1.0
+                                + leaves
+                                    .iter()
+                                    .map(|&l| info[l as usize].area_flow)
+                                    .sum::<f64>())
+                                / (fanouts[idx].max(1) as f64);
+                            cands.push(Cut {
+                                leaves,
+                                depth,
+                                area_flow,
+                            });
+                        }
+                    }
+                }
+                cands.sort_by(|x, y| {
+                    x.depth
+                        .cmp(&y.depth)
+                        .then(x.area_flow.partial_cmp(&y.area_flow).unwrap())
+                        .then(x.leaves.len().cmp(&y.leaves.len()))
+                });
+                cands.truncate(opts.cuts_per_node);
+                let label = cands.first().map(|c| c.depth).expect("gate has a cut");
+                let area_flow = cands
+                    .iter()
+                    .map(|c| c.area_flow)
+                    .fold(f64::INFINITY, f64::min);
+                // Trivial cut last, for parents' merging.
+                cands.push(Cut {
+                    leaves: vec![idx as u32],
+                    depth: u32::MAX, // never selectable as implementation
+                    area_flow: f64::INFINITY,
+                });
+                NodeInfo {
+                    cuts: cands,
+                    label,
+                    area_flow,
+                }
+            }
+        };
+        info.push(node_info);
+    }
+
+    // Phase 2: cut selection under required times, minimizing area flow.
+    let global_depth = net
+        .outputs()
+        .iter()
+        .map(|(_, o)| info[o.index()].label)
+        .max()
+        .unwrap_or(0);
+    let mut required = vec![u32::MAX; n];
+    let mut needed = vec![false; n];
+    for (_, o) in net.outputs() {
+        if matches!(net.gate(*o), Gate::And(_, _) | Gate::Xor(_, _)) {
+            needed[o.index()] = true;
+            required[o.index()] = required[o.index()].min(global_depth);
+        }
+    }
+    let mut chosen: Vec<Option<usize>> = vec![None; n];
+    for idx in (0..n).rev() {
+        if !needed[idx] {
+            continue;
+        }
+        let req = required[idx];
+        // Pick the min-area-flow cut meeting the required time; the
+        // depth-best cut always does (label <= req by construction).
+        let (best, _) = info[idx]
+            .cuts
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.depth <= req)
+            .min_by(|(_, x), (_, y)| {
+                x.area_flow
+                    .partial_cmp(&y.area_flow)
+                    .unwrap()
+                    .then(x.depth.cmp(&y.depth))
+            })
+            .expect("at least the depth-optimal cut meets required time");
+        chosen[idx] = Some(best);
+        let cut_depth = info[idx].cuts[best].depth;
+        debug_assert!(cut_depth <= req);
+        for &leaf in &info[idx].cuts[best].leaves {
+            let li = leaf as usize;
+            if matches!(net.gate(net.node_id(li)), Gate::And(_, _) | Gate::Xor(_, _)) {
+                needed[li] = true;
+                required[li] = required[li].min(req.saturating_sub(1));
+            }
+        }
+    }
+
+    // Phase 3: extraction + truth tables.
+    let mut out = LutNetlist::new(
+        net.name().to_string(),
+        opts.k,
+        net.input_names().to_vec(),
+    );
+    let mut lut_of: HashMap<usize, u32> = HashMap::new();
+    for idx in 0..n {
+        let Some(cut_idx) = chosen[idx] else { continue };
+        let leaves = &info[idx].cuts[cut_idx].leaves;
+        let truth = cone_truth(net, idx, leaves);
+        let inputs: Vec<Signal> = leaves
+            .iter()
+            .map(|&l| signal_for(net, l as usize, &lut_of))
+            .collect();
+        let id = out.push_lut(Lut { inputs, truth });
+        lut_of.insert(idx, id);
+    }
+    for (name, o) in net.outputs() {
+        out.push_output(name.clone(), signal_for(net, o.index(), &lut_of));
+    }
+    out
+}
+
+fn signal_for(net: &Netlist, idx: usize, lut_of: &HashMap<usize, u32>) -> Signal {
+    if let Some(&l) = lut_of.get(&idx) {
+        return Signal::Lut(l);
+    }
+    match net.gate(net.node_id(idx)) {
+        Gate::Input(i) => Signal::Input(i),
+        Gate::Const(v) => Signal::Const(v),
+        _ => panic!("gate node {idx} was not mapped"),
+    }
+}
+
+/// Truth table of the cone rooted at `root` with the given leaves, over
+/// ≤ 6 variables.
+fn cone_truth(net: &Netlist, root: usize, leaves: &[u32]) -> u64 {
+    /// Standard truth-table input patterns for up to 6 variables.
+    const PATTERNS: [u64; 6] = [
+        0xAAAA_AAAA_AAAA_AAAA,
+        0xCCCC_CCCC_CCCC_CCCC,
+        0xF0F0_F0F0_F0F0_F0F0,
+        0xFF00_FF00_FF00_FF00,
+        0xFFFF_0000_FFFF_0000,
+        0xFFFF_FFFF_0000_0000,
+    ];
+    let mut memo: HashMap<usize, u64> = HashMap::new();
+    for (v, &leaf) in leaves.iter().enumerate() {
+        memo.insert(leaf as usize, PATTERNS[v]);
+    }
+    fn eval(
+        net: &Netlist,
+        idx: usize,
+        memo: &mut HashMap<usize, u64>,
+    ) -> u64 {
+        if let Some(&w) = memo.get(&idx) {
+            return w;
+        }
+        let w = match net.gate(net.node_id(idx)) {
+            Gate::Const(false) => 0,
+            Gate::Const(true) => u64::MAX,
+            Gate::Input(_) => panic!("input reached below a cut leaf"),
+            Gate::And(a, b) => {
+                eval(net, a.index(), memo) & eval(net, b.index(), memo)
+            }
+            Gate::Xor(a, b) => {
+                eval(net, a.index(), memo) ^ eval(net, b.index(), memo)
+            }
+        };
+        memo.insert(idx, w);
+        w
+    }
+    let full = eval(net, root, &mut memo);
+    // Mask to the populated variable count.
+    if leaves.len() >= 6 {
+        full
+    } else {
+        full & ((1u64 << (1 << leaves.len())) - 1)
+    }
+}
+
+/// Re-verifies a mapping against its source netlist on `rounds × 64`
+/// random patterns (deterministic seed). Returns `true` when equivalent.
+pub fn verify_mapping(net: &Netlist, mapped: &LutNetlist, rounds: usize, seed: u64) -> bool {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..rounds {
+        let words: Vec<u64> = (0..net.num_inputs()).map(|_| rng.gen()).collect();
+        if net.eval_words(&words) != mapped.eval_words(&words) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_respects_k() {
+        assert_eq!(merge_leaves(&[1, 3], &[2, 3], 3), Some(vec![1, 2, 3]));
+        assert_eq!(merge_leaves(&[1, 3], &[2, 4], 3), None);
+        assert_eq!(merge_leaves(&[], &[5], 6), Some(vec![5]));
+    }
+
+    fn xor_tree(leaves: usize) -> Netlist {
+        let mut net = Netlist::new("xt");
+        let ins: Vec<_> = (0..leaves).map(|i| net.input(format!("x{i}"))).collect();
+        let root = net.xor_balanced(&ins);
+        net.output("y", root);
+        net
+    }
+
+    #[test]
+    fn xor3_fits_one_lut() {
+        let net = xor_tree(3);
+        let mapped = map_to_luts(&net, &MapOptions::new());
+        assert_eq!(mapped.num_luts(), 1);
+        assert_eq!(mapped.depth(), 1);
+        assert!(verify_mapping(&net, &mapped, 4, 1));
+    }
+
+    #[test]
+    fn xor24_maps_to_two_levels() {
+        // A binary-balanced 24-leaf tree has 4-leaf subtree boundaries at
+        // level 2, so a depth-2 cover (6 LUTs of 4 + 1 root LUT) exists
+        // structurally and the depth-oriented mapper must find it.
+        let net = xor_tree(24);
+        let mapped = map_to_luts(&net, &MapOptions::new());
+        assert_eq!(mapped.depth(), 2, "{mapped}");
+        assert_eq!(mapped.num_luts(), 7, "{mapped}");
+        assert!(verify_mapping(&net, &mapped, 8, 2));
+    }
+
+    #[test]
+    fn xor36_structural_mapping_needs_three_levels() {
+        // 36 leaves would fit 6×6 LUTs, but a *binary-balanced* tree has
+        // no 6-leaf subtree boundaries; structural mapping (no
+        // re-association) is stuck at depth 3. The resynthesis pass
+        // (crate::resynth) exists precisely to fix this — mirroring what
+        // the paper relies on XST to do for its flat Table IV forms.
+        let net = xor_tree(36);
+        let mapped = map_to_luts(&net, &MapOptions::new());
+        assert_eq!(mapped.depth(), 3, "{mapped}");
+        assert!(verify_mapping(&net, &mapped, 8, 2));
+    }
+
+    #[test]
+    fn free_mode_duplicates_shared_logic_for_depth() {
+        // x = a^b feeds two outputs; with k=3 the free mapper absorbs x
+        // into both cones (2 LUTs, depth 1); the fanout-preserving
+        // mapper keeps x as a barrier (3 LUTs, depth 2).
+        let mut net = Netlist::new("sh");
+        let a = net.input("a");
+        let b = net.input("b");
+        let c = net.input("c");
+        let d = net.input("d");
+        let x = net.xor(a, b);
+        let y1 = net.xor(x, c);
+        let y2 = net.xor(x, d);
+        net.output("y1", y1);
+        net.output("y2", y2);
+
+        let free = map_to_luts(&net, &MapOptions::new().with_k(3));
+        assert_eq!(free.depth(), 1);
+        assert_eq!(free.num_luts(), 2);
+        assert!(verify_mapping(&net, &free, 4, 3));
+
+        let fp = map_to_luts(
+            &net,
+            &MapOptions::new().with_k(3).with_mode(MapMode::FanoutPreserving),
+        );
+        assert_eq!(fp.depth(), 2);
+        assert_eq!(fp.num_luts(), 3);
+        assert!(verify_mapping(&net, &fp, 4, 4));
+    }
+
+    #[test]
+    fn maps_and_xor_mix() {
+        let mut net = Netlist::new("m");
+        let a = net.input("a");
+        let b = net.input("b");
+        let c = net.input("c");
+        let p = net.and(a, b);
+        let q = net.and(b, c);
+        let r = net.xor(p, q);
+        let s = net.and(r, a);
+        net.output("y", s);
+        let mapped = map_to_luts(&net, &MapOptions::new());
+        assert_eq!(mapped.num_luts(), 1); // 3 inputs total — one LUT6
+        assert!(verify_mapping(&net, &mapped, 8, 5));
+    }
+
+    #[test]
+    fn passthrough_and_const_outputs() {
+        let mut net = Netlist::new("p");
+        let a = net.input("a");
+        let t = net.constant(true);
+        net.output("same", a);
+        net.output("one", t);
+        let mapped = map_to_luts(&net, &MapOptions::new());
+        assert_eq!(mapped.num_luts(), 0);
+        assert_eq!(
+            mapped.outputs(),
+            &[
+                ("same".to_string(), Signal::Input(0)),
+                ("one".to_string(), Signal::Const(true))
+            ]
+        );
+    }
+
+    #[test]
+    fn cone_truth_of_xor2() {
+        let mut net = Netlist::new("t");
+        let a = net.input("a");
+        let b = net.input("b");
+        let x = net.xor(a, b);
+        net.output("y", x);
+        let truth = cone_truth(&net, x.index(), &[a.index() as u32, b.index() as u32]);
+        assert_eq!(truth, 0b0110);
+    }
+}

@@ -1,0 +1,435 @@
+//! Deterministic simulated-annealing placement on a slice grid.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::lut::{LutNetlist, Signal};
+use crate::pack::Packing;
+
+/// A placed design: grid dimensions, one grid cell per slice, and fixed
+/// virtual pad positions for the primary inputs/outputs.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    grid_w: usize,
+    grid_h: usize,
+    /// `pos[s]` = (x, y) of slice `s`.
+    pos: Vec<(f32, f32)>,
+    /// Input pad positions (left edge).
+    input_pos: Vec<(f32, f32)>,
+    /// Output pad positions (right edge).
+    output_pos: Vec<(f32, f32)>,
+}
+
+impl Placement {
+    /// Grid width in slice columns.
+    pub fn grid_w(&self) -> usize {
+        self.grid_w
+    }
+
+    /// Grid height in slice rows.
+    pub fn grid_h(&self) -> usize {
+        self.grid_h
+    }
+
+    /// Position of slice `s`.
+    pub fn slice_pos(&self, s: u32) -> (f32, f32) {
+        self.pos[s as usize]
+    }
+
+    /// Position of input pad `i`.
+    pub fn input_pos(&self, i: u32) -> (f32, f32) {
+        self.input_pos[i as usize]
+    }
+
+    /// Position of output pad `o`.
+    pub fn output_pos(&self, o: usize) -> (f32, f32) {
+        self.output_pos[o]
+    }
+
+    /// Total half-perimeter wirelength of the placement under `nets`.
+    pub fn total_hpwl(&self, nets: &[Net]) -> f64 {
+        nets.iter().map(|n| self.net_hpwl(n)).sum()
+    }
+
+    fn net_hpwl(&self, net: &Net) -> f64 {
+        let mut min_x = f32::INFINITY;
+        let mut max_x = f32::NEG_INFINITY;
+        let mut min_y = f32::INFINITY;
+        let mut max_y = f32::NEG_INFINITY;
+        let mut upd = |(x, y): (f32, f32)| {
+            min_x = min_x.min(x);
+            max_x = max_x.max(x);
+            min_y = min_y.min(y);
+            max_y = max_y.max(y);
+        };
+        for &s in &net.slices {
+            upd(self.pos[s as usize]);
+        }
+        for &p in &net.pads {
+            upd(p);
+        }
+        if min_x > max_x {
+            return 0.0;
+        }
+        ((max_x - min_x) + (max_y - min_y)) as f64
+    }
+}
+
+/// A placement net: the slices it touches plus fixed pad points.
+#[derive(Debug, Clone)]
+pub struct Net {
+    /// Slices containing the driver and sink LUTs (deduplicated).
+    pub slices: Vec<u32>,
+    /// Fixed pad positions on the net (primary I/O).
+    pub pads: Vec<(f32, f32)>,
+}
+
+/// Extracts the placement netlist (one net per signal driver that has
+/// sinks) in slice coordinates.
+pub fn extract_nets(lutnet: &LutNetlist, packing: &Packing, placement_seeding: &Placement) -> Vec<Net> {
+    let _ = placement_seeding;
+    build_nets(lutnet, packing)
+}
+
+fn build_nets(lutnet: &LutNetlist, packing: &Packing) -> Vec<Net> {
+    // Driver key: input index or LUT id.
+    use std::collections::HashMap;
+    #[derive(PartialEq, Eq, Hash, Clone, Copy)]
+    enum Driver {
+        In(u32),
+        Lut(u32),
+    }
+    let mut sinks: HashMap<Driver, Vec<SinkRef>> = HashMap::new();
+    #[derive(Clone, Copy)]
+    enum SinkRef {
+        Slice(u32),
+        OutPad(u32),
+    }
+    for (l, lut) in lutnet.luts().iter().enumerate() {
+        for s in &lut.inputs {
+            let d = match s {
+                Signal::Input(i) => Driver::In(*i),
+                Signal::Lut(j) => Driver::Lut(*j),
+                Signal::Const(_) => continue,
+            };
+            sinks
+                .entry(d)
+                .or_default()
+                .push(SinkRef::Slice(packing.slice_of(l as u32)));
+        }
+    }
+    for (o, (_, s)) in lutnet.outputs().iter().enumerate() {
+        let d = match s {
+            Signal::Input(i) => Driver::In(*i),
+            Signal::Lut(j) => Driver::Lut(*j),
+            Signal::Const(_) => continue,
+        };
+        sinks.entry(d).or_default().push(SinkRef::OutPad(o as u32));
+    }
+    let n_in = lutnet.input_names().len();
+    let n_out = lutnet.outputs().len();
+    let grid = grid_size(packing.num_slices());
+    let mut nets = Vec::with_capacity(sinks.len());
+    let mut keys: Vec<Driver> = sinks.keys().copied().collect();
+    keys.sort_by_key(|d| match d {
+        Driver::In(i) => (0u8, *i),
+        Driver::Lut(j) => (1u8, *j),
+    });
+    for d in keys {
+        let sink_list = &sinks[&d];
+        let mut slices: Vec<u32> = Vec::new();
+        let mut pads: Vec<(f32, f32)> = Vec::new();
+        match d {
+            Driver::In(i) => pads.push(input_pad_pos(i as usize, n_in, grid)),
+            Driver::Lut(j) => slices.push(packing.slice_of(j)),
+        }
+        for s in sink_list {
+            match s {
+                SinkRef::Slice(sl) => slices.push(*sl),
+                SinkRef::OutPad(o) => pads.push(output_pad_pos(*o as usize, n_out, grid)),
+            }
+        }
+        slices.sort_unstable();
+        slices.dedup();
+        nets.push(Net { slices, pads });
+    }
+    nets
+}
+
+fn grid_size(num_slices: usize) -> (usize, usize) {
+    let w = (num_slices.max(1) as f64).sqrt().ceil() as usize;
+    let h = num_slices.max(1).div_ceil(w);
+    (w, h)
+}
+
+fn input_pad_pos(i: usize, n: usize, (_, h): (usize, usize)) -> (f32, f32) {
+    let y = if n <= 1 {
+        0.0
+    } else {
+        (i as f32 / (n - 1) as f32) * h.max(1) as f32
+    };
+    (-1.0, y)
+}
+
+fn output_pad_pos(o: usize, n: usize, (w, h): (usize, usize)) -> (f32, f32) {
+    let y = if n <= 1 {
+        0.0
+    } else {
+        (o as f32 / (n - 1) as f32) * h.max(1) as f32
+    };
+    (w as f32, y)
+}
+
+/// Options for the annealer.
+#[derive(Debug, Clone)]
+pub struct PlaceOptions {
+    /// RNG seed (placement is fully deterministic for a given seed).
+    pub seed: u64,
+    /// Moves per temperature step ≈ `moves_factor × num_slices`.
+    pub moves_factor: usize,
+    /// Upper bound on total proposed moves (keeps big designs bounded).
+    pub max_total_moves: usize,
+}
+
+impl Default for PlaceOptions {
+    fn default() -> Self {
+        PlaceOptions {
+            seed: 2018,
+            moves_factor: 8,
+            max_total_moves: 1_200_000,
+        }
+    }
+}
+
+/// Places the packed design: snake-order initial placement refined by
+/// simulated annealing on total HPWL.
+///
+/// Deterministic for a fixed seed; returns the final [`Placement`].
+pub fn place(lutnet: &LutNetlist, packing: &Packing, opts: &PlaceOptions) -> Placement {
+    let num_slices = packing.num_slices();
+    let (w, h) = grid_size(num_slices);
+    // Initial snake placement in slice id order (ids are topological-ish
+    // because packing visits LUTs in topological order).
+    let mut cells: Vec<Option<u32>> = vec![None; w * h];
+    let mut pos: Vec<(f32, f32)> = vec![(0.0, 0.0); num_slices];
+    for (s, p) in pos.iter_mut().enumerate() {
+        let row = s / w;
+        let col = if row % 2 == 0 { s % w } else { w - 1 - (s % w) };
+        cells[row * w + col] = Some(s as u32);
+        *p = (col as f32, row as f32);
+    }
+    let n_in = lutnet.input_names().len();
+    let n_out = lutnet.outputs().len();
+    let mut placement = Placement {
+        grid_w: w,
+        grid_h: h,
+        pos,
+        input_pos: (0..n_in).map(|i| input_pad_pos(i, n_in, (w, h))).collect(),
+        output_pos: (0..n_out).map(|o| output_pad_pos(o, n_out, (w, h))).collect(),
+    };
+    let nets = build_nets(lutnet, packing);
+    if num_slices < 2 || nets.is_empty() {
+        return placement;
+    }
+    // Slice → incident net indices.
+    let mut incident: Vec<Vec<u32>> = vec![Vec::new(); num_slices];
+    for (ni, net) in nets.iter().enumerate() {
+        for &s in &net.slices {
+            incident[s as usize].push(ni as u32);
+        }
+    }
+
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let moves_per_temp = (opts.moves_factor * num_slices).max(64);
+    let total_budget = opts.max_total_moves;
+    let mut spent = 0usize;
+
+    // Initial temperature from sampled move deltas.
+    let mut t = {
+        let mut acc = 0.0;
+        let samples = 64;
+        for _ in 0..samples {
+            let (ca, cb) = (rng.gen_range(0..w * h), rng.gen_range(0..w * h));
+            let d = swap_delta(&mut placement, &cells, &nets, &incident, ca, cb, w);
+            acc += d.abs();
+        }
+        (acc / samples as f64).max(0.5) * 2.0
+    };
+
+    while t > 0.01 && spent < total_budget {
+        for _ in 0..moves_per_temp {
+            spent += 1;
+            if spent >= total_budget {
+                break;
+            }
+            let ca = rng.gen_range(0..w * h);
+            let cb = rng.gen_range(0..w * h);
+            if ca == cb {
+                continue;
+            }
+            let delta = swap_delta(&mut placement, &cells, &nets, &incident, ca, cb, w);
+            let accept = delta < 0.0 || rng.gen::<f64>() < (-delta / t).exp();
+            if accept {
+                apply_swap(&mut placement, &mut cells, ca, cb, w);
+            }
+        }
+        t *= 0.85;
+    }
+    placement
+}
+
+/// Cost delta of swapping the contents of grid cells `ca` and `cb`
+/// (either may be empty). Does not mutate the placement.
+fn swap_delta(
+    placement: &mut Placement,
+    cells: &[Option<u32>],
+    nets: &[Net],
+    incident: &[Vec<u32>],
+    ca: usize,
+    cb: usize,
+    w: usize,
+) -> f64 {
+    let affected: Vec<u32> = {
+        let mut v = Vec::new();
+        for c in [ca, cb] {
+            if let Some(s) = cells[c] {
+                v.extend_from_slice(&incident[s as usize]);
+            }
+        }
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    if affected.is_empty() {
+        return 0.0;
+    }
+    let before: f64 = affected
+        .iter()
+        .map(|&ni| placement.net_hpwl(&nets[ni as usize]))
+        .sum();
+    // Tentatively move.
+    let pa = ((ca % w) as f32, (ca / w) as f32);
+    let pb = ((cb % w) as f32, (cb / w) as f32);
+    if let Some(s) = cells[ca] {
+        placement.pos[s as usize] = pb;
+    }
+    if let Some(s) = cells[cb] {
+        placement.pos[s as usize] = pa;
+    }
+    let after: f64 = affected
+        .iter()
+        .map(|&ni| placement.net_hpwl(&nets[ni as usize]))
+        .sum();
+    // Undo.
+    if let Some(s) = cells[ca] {
+        placement.pos[s as usize] = pa;
+    }
+    if let Some(s) = cells[cb] {
+        placement.pos[s as usize] = pb;
+    }
+    after - before
+}
+
+fn apply_swap(
+    placement: &mut Placement,
+    cells: &mut [Option<u32>],
+    ca: usize,
+    cb: usize,
+    w: usize,
+) {
+    let pa = ((ca % w) as f32, (ca / w) as f32);
+    let pb = ((cb % w) as f32, (cb / w) as f32);
+    if let Some(s) = cells[ca] {
+        placement.pos[s as usize] = pb;
+    }
+    if let Some(s) = cells[cb] {
+        placement.pos[s as usize] = pa;
+    }
+    cells.swap(ca, cb);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lut::Lut;
+    use crate::pack::pack_slices;
+
+    fn sample_lutnet(luts: usize) -> LutNetlist {
+        let mut net = LutNetlist::new("p".into(), 6, vec!["a".into(), "b".into()]);
+        let mut prev = Signal::Input(0);
+        for i in 0..luts {
+            let id = net.push_lut(Lut {
+                inputs: vec![prev, Signal::Input((i % 2) as u32)],
+                truth: 0b0110,
+            });
+            prev = Signal::Lut(id);
+        }
+        net.push_output("y".into(), prev);
+        net
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let net = sample_lutnet(40);
+        let packing = pack_slices(&net, 4);
+        let p1 = place(&net, &packing, &PlaceOptions::default());
+        let p2 = place(&net, &packing, &PlaceOptions::default());
+        for s in 0..packing.num_slices() {
+            assert_eq!(p1.slice_pos(s as u32), p2.slice_pos(s as u32));
+        }
+    }
+
+    #[test]
+    fn annealing_does_not_worsen_wirelength() {
+        let net = sample_lutnet(60);
+        let packing = pack_slices(&net, 4);
+        let nets = build_nets(&net, &packing);
+        // Snake-only placement (zero-move annealer):
+        let frozen = place(
+            &net,
+            &packing,
+            &PlaceOptions {
+                seed: 1,
+                moves_factor: 0,
+                max_total_moves: 0,
+            },
+        );
+        let refined = place(&net, &packing, &PlaceOptions::default());
+        assert!(refined.total_hpwl(&nets) <= frozen.total_hpwl(&nets) * 1.001);
+    }
+
+    #[test]
+    fn every_slice_gets_a_unique_cell() {
+        let net = sample_lutnet(33);
+        let packing = pack_slices(&net, 4);
+        let p = place(&net, &packing, &PlaceOptions::default());
+        let mut seen = std::collections::HashSet::new();
+        for s in 0..packing.num_slices() {
+            let pos = p.slice_pos(s as u32);
+            assert!(
+                seen.insert((pos.0 as i64, pos.1 as i64)),
+                "slice {s} shares cell {pos:?}"
+            );
+            assert!(pos.0 >= 0.0 && (pos.0 as usize) < p.grid_w());
+            assert!(pos.1 >= 0.0 && (pos.1 as usize) < p.grid_h());
+        }
+    }
+
+    #[test]
+    fn pads_sit_on_the_edges() {
+        let net = sample_lutnet(10);
+        let packing = pack_slices(&net, 4);
+        let p = place(&net, &packing, &PlaceOptions::default());
+        assert_eq!(p.input_pos(0).0, -1.0);
+        assert_eq!(p.output_pos(0).0, p.grid_w() as f32);
+    }
+
+    #[test]
+    fn single_slice_design_places_trivially() {
+        let net = sample_lutnet(2);
+        let packing = pack_slices(&net, 4);
+        let p = place(&net, &packing, &PlaceOptions::default());
+        assert_eq!(p.grid_w(), 1);
+        assert_eq!(p.slice_pos(0), (0.0, 0.0));
+    }
+}

@@ -1,0 +1,215 @@
+//! Static timing analysis over the placed design.
+//!
+//! The delay model mirrors the cost structure of a post-P&R FPGA timing
+//! report: IOB delays at the boundary, a fixed LUT logic delay, and net
+//! delays growing with driver fanout and placed wire length. The paper's
+//! Table V "Time (ns)" column is the critical combinational path of each
+//! multiplier through exactly these components.
+
+use crate::device::Device;
+use crate::lut::{LutNetlist, Signal};
+use crate::pack::Packing;
+use crate::place::Placement;
+
+/// The result of static timing analysis.
+#[derive(Debug, Clone)]
+pub struct TimingReport {
+    /// Critical-path delay in nanoseconds.
+    pub critical_ns: f64,
+    /// Name of the output terminating the critical path.
+    pub critical_output: String,
+    /// Arrival time of every LUT output, in ns.
+    pub arrival_ns: Vec<f64>,
+}
+
+/// Runs STA on a placed design.
+pub fn analyze(
+    lutnet: &LutNetlist,
+    packing: &Packing,
+    placement: &Placement,
+    device: &Device,
+) -> TimingReport {
+    let fanouts = lutnet.lut_fanouts();
+    let input_fanouts = input_fanout_counts(lutnet);
+    let mut arrival = vec![0.0f64; lutnet.num_luts()];
+    let lut_pos = |l: u32| placement.slice_pos(packing.slice_of(l));
+    for (l, lut) in lutnet.luts().iter().enumerate() {
+        let sink_pos = lut_pos(l as u32);
+        let mut worst: f64 = 0.0;
+        for s in &lut.inputs {
+            let t = match s {
+                Signal::Const(_) => 0.0,
+                Signal::Input(i) => {
+                    let src = placement.input_pos(*i);
+                    device.t_ibuf_ns
+                        + net_delay(
+                            device,
+                            input_fanouts[*i as usize],
+                            src,
+                            sink_pos,
+                        )
+                }
+                Signal::Lut(j) => {
+                    arrival[*j as usize]
+                        + net_delay(
+                            device,
+                            fanouts[*j as usize],
+                            lut_pos(*j),
+                            sink_pos,
+                        )
+                }
+            };
+            worst = worst.max(t);
+        }
+        arrival[l] = worst + device.t_lut_ns;
+    }
+    let mut critical_ns: f64 = 0.0;
+    let mut critical_output = String::new();
+    for (o, (name, s)) in lutnet.outputs().iter().enumerate() {
+        let pad = placement.output_pos(o);
+        let t = match s {
+            Signal::Const(_) => device.t_obuf_ns,
+            Signal::Input(i) => {
+                device.t_ibuf_ns
+                    + net_delay(device, input_fanouts[*i as usize], placement.input_pos(*i), pad)
+                    + device.t_obuf_ns
+            }
+            Signal::Lut(j) => {
+                arrival[*j as usize]
+                    + net_delay(device, fanouts[*j as usize], lut_pos(*j), pad)
+                    + device.t_obuf_ns
+            }
+        };
+        if t > critical_ns {
+            critical_ns = t;
+            critical_output = name.clone();
+        }
+    }
+    TimingReport {
+        critical_ns,
+        critical_output,
+        arrival_ns: arrival,
+    }
+}
+
+fn net_delay(device: &Device, fanout: usize, src: (f32, f32), dst: (f32, f32)) -> f64 {
+    let dist = ((src.0 - dst.0).abs() + (src.1 - dst.1).abs()) as f64;
+    device.t_net_ns
+        + device.t_net_per_fanout_ns * fanout.saturating_sub(1) as f64
+        + device.t_net_per_unit_ns * dist
+}
+
+fn input_fanout_counts(lutnet: &LutNetlist) -> Vec<usize> {
+    let mut f = vec![0usize; lutnet.input_names().len()];
+    for lut in lutnet.luts() {
+        for s in &lut.inputs {
+            if let Signal::Input(i) = s {
+                f[*i as usize] += 1;
+            }
+        }
+    }
+    for (_, s) in lutnet.outputs() {
+        if let Signal::Input(i) = s {
+            f[*i as usize] += 1;
+        }
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lut::Lut;
+    use crate::pack::pack_slices;
+    use crate::place::{place, PlaceOptions};
+
+    fn timed(net: &LutNetlist) -> TimingReport {
+        let packing = pack_slices(net, 4);
+        let placement = place(net, &packing, &PlaceOptions::default());
+        analyze(net, &packing, &placement, &Device::artix7())
+    }
+
+    #[test]
+    fn single_lut_path_has_all_components() {
+        let mut net = LutNetlist::new("t".into(), 6, vec!["a".into(), "b".into()]);
+        let id = net.push_lut(Lut {
+            inputs: vec![Signal::Input(0), Signal::Input(1)],
+            truth: 0b0110,
+        });
+        net.push_output("y".into(), Signal::Lut(id));
+        let d = Device::artix7();
+        let r = timed(&net);
+        // At least IBUF + net + LUT + net + OBUF.
+        let floor = d.t_ibuf_ns + d.t_net_ns + d.t_lut_ns + d.t_net_ns + d.t_obuf_ns;
+        assert!(r.critical_ns >= floor, "{} < {floor}", r.critical_ns);
+        assert_eq!(r.critical_output, "y");
+    }
+
+    #[test]
+    fn deeper_chain_is_slower() {
+        let build = |depth: usize| {
+            let mut net = LutNetlist::new("c".into(), 6, vec!["a".into()]);
+            let mut prev = Signal::Input(0);
+            for _ in 0..depth {
+                let id = net.push_lut(Lut {
+                    inputs: vec![prev],
+                    truth: 0b01,
+                });
+                prev = Signal::Lut(id);
+            }
+            net.push_output("y".into(), prev);
+            net
+        };
+        let short = timed(&build(2)).critical_ns;
+        let long = timed(&build(8)).critical_ns;
+        assert!(long > short, "{long} <= {short}");
+    }
+
+    #[test]
+    fn high_fanout_penalizes_delay() {
+        let build = |fanout: usize| {
+            let mut net = LutNetlist::new("f".into(), 6, vec!["a".into()]);
+            let driver = net.push_lut(Lut {
+                inputs: vec![Signal::Input(0)],
+                truth: 0b01,
+            });
+            let mut last = driver;
+            for _ in 0..fanout {
+                last = net.push_lut(Lut {
+                    inputs: vec![Signal::Lut(driver)],
+                    truth: 0b01,
+                });
+            }
+            net.push_output("y".into(), Signal::Lut(last));
+            net
+        };
+        let lo = timed(&build(1)).critical_ns;
+        let hi = timed(&build(12)).critical_ns;
+        assert!(hi > lo, "{hi} <= {lo}");
+    }
+
+    #[test]
+    fn passthrough_output_is_fast_but_nonzero() {
+        let mut net = LutNetlist::new("p".into(), 6, vec!["a".into()]);
+        net.push_output("y".into(), Signal::Input(0));
+        let r = timed(&net);
+        let d = Device::artix7();
+        assert!(r.critical_ns >= d.t_ibuf_ns + d.t_obuf_ns);
+    }
+
+    #[test]
+    fn arrival_times_are_monotone_along_chains() {
+        let mut net = LutNetlist::new("m".into(), 6, vec!["a".into()]);
+        let l0 = net.push_lut(Lut {
+            inputs: vec![Signal::Input(0)],
+            truth: 0b01,
+        });
+        let l1 = net.push_lut(Lut {
+            inputs: vec![Signal::Lut(l0)],
+            truth: 0b01,
+        });
+        net.push_output("y".into(), Signal::Lut(l1));
+        let r = timed(&net);
+        assert!(r.arrival_ns[l1 as usize] > r.arrival_ns[l0 as usize]);
+    }
+}

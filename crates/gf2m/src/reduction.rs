@@ -1,0 +1,217 @@
+//! The reduction matrix of a degree-m modulus.
+
+use gf2poly::Gf2Poly;
+
+/// The reduction matrix `R` of a degree-`m` modulus `f`.
+///
+/// Column `i` (for `0 ≤ i ≤ m−2`) holds the coordinates of
+/// `y^(m+i) mod f(y)`. Given the unreduced product
+/// `D(y) = Σ_{k=0}^{2m−2} d_k y^k` of two field elements, the reduced
+/// coordinates are
+///
+/// ```text
+/// c_k = d_k + Σ_i R[k][i] · d_{m+i}
+/// ```
+///
+/// In the paper's notation `S_{k+1} = d_k` and `T_i = d_{m+i}`, so row `k`
+/// of `R` is precisely the set of `T_i` terms appearing in coefficient
+/// `c_k` of Table I.
+///
+/// # Examples
+///
+/// ```
+/// use gf2m::ReductionMatrix;
+/// use gf2poly::Gf2Poly;
+///
+/// // f = y^8 + y^4 + y^3 + y^2 + 1 (the paper's GF(2^8) modulus).
+/// let f = Gf2Poly::from_exponents(&[8, 4, 3, 2, 0]);
+/// let r = ReductionMatrix::new(&f);
+/// // Row 0 of Table I: c0 = S1 + T0 + T4 + T5 + T6.
+/// assert_eq!(r.t_terms_for_coefficient(0), vec![0, 4, 5, 6]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReductionMatrix {
+    m: usize,
+    /// `columns[i] = y^(m+i) mod f`, for `i` in `0..=m-2`.
+    columns: Vec<Gf2Poly>,
+}
+
+impl ReductionMatrix {
+    /// Computes the reduction matrix of `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deg(f) < 2`.
+    pub fn new(f: &Gf2Poly) -> Self {
+        let m = f.degree().expect("modulus must be nonzero");
+        assert!(m >= 2, "modulus degree must be at least 2");
+        let mut columns = Vec::with_capacity(m - 1);
+        // y^m mod f = f - y^m (over GF(2): f + y^m).
+        let mut cur = f.clone() + Gf2Poly::monomial(m);
+        for _ in 0..m - 1 {
+            columns.push(cur.clone());
+            // y^(m+i+1) = y * y^(m+i); reduce the possible overflow at y^m.
+            cur = cur.shl(1);
+            if cur.coeff(m) {
+                cur.set_coeff(m, false);
+                cur += columns[0].clone();
+            }
+        }
+        ReductionMatrix { m, columns }
+    }
+
+    /// The extension degree `m`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Entry `R[k][i]`: does `d_{m+i}` contribute to coordinate `c_k`?
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k ≥ m` or `i > m−2`.
+    pub fn entry(&self, k: usize, i: usize) -> bool {
+        assert!(k < self.m, "row {k} out of range for m = {}", self.m);
+        self.columns[i].coeff(k)
+    }
+
+    /// The reduced coordinates of `y^(m+i)`, as a polynomial of degree < m.
+    pub fn column(&self, i: usize) -> &Gf2Poly {
+        &self.columns[i]
+    }
+
+    /// The indices `i` with `R[k][i] = 1` — i.e. the paper's `T_i` terms
+    /// appearing in product coordinate `c_k` (Table I), ascending.
+    pub fn t_terms_for_coefficient(&self, k: usize) -> Vec<usize> {
+        (0..self.m - 1).filter(|&i| self.entry(k, i)).collect()
+    }
+
+    /// Reduces an unreduced polynomial (degree ≤ 2m−2) to field
+    /// coordinates using the matrix.
+    ///
+    /// Agrees with `d.rem_by(f)` by construction; having both routes lets
+    /// tests cross-check the matrix against Euclidean division.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deg(d) > 2m−2`.
+    pub fn reduce(&self, d: &Gf2Poly) -> Gf2Poly {
+        if let Some(deg) = d.degree() {
+            assert!(
+                deg <= 2 * self.m - 2,
+                "degree {deg} exceeds unreduced-product bound {}",
+                2 * self.m - 2
+            );
+        }
+        let mut out = Gf2Poly::zero();
+        for k in 0..self.m {
+            if d.coeff(k) {
+                out.set_coeff(k, true);
+            }
+        }
+        for i in 0..self.m - 1 {
+            if d.coeff(self.m + i) {
+                out += self.columns[i].clone();
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gf256_matrix() -> ReductionMatrix {
+        ReductionMatrix::new(&Gf2Poly::from_exponents(&[8, 4, 3, 2, 0]))
+    }
+
+    #[test]
+    fn columns_match_euclidean_reduction() {
+        let f = Gf2Poly::from_exponents(&[8, 4, 3, 2, 0]);
+        let r = ReductionMatrix::new(&f);
+        for i in 0..7 {
+            assert_eq!(
+                *r.column(i),
+                Gf2Poly::monomial(8 + i).rem_by(&f),
+                "column {i}"
+            );
+        }
+    }
+
+    /// Table I of the paper, transcribed: the T_i sets of each c_k for
+    /// (m, n) = (8, 2).
+    #[test]
+    fn table_i_t_sets() {
+        let r = gf256_matrix();
+        let expected: [&[usize]; 8] = [
+            &[0, 4, 5, 6],    // c0
+            &[1, 5, 6],       // c1
+            &[0, 2, 4, 5],    // c2
+            &[0, 1, 3, 4],    // c3
+            &[0, 1, 2, 6],    // c4
+            &[1, 2, 3],       // c5
+            &[2, 3, 4],       // c6
+            &[3, 4, 5],       // c7
+        ];
+        for (k, want) in expected.iter().enumerate() {
+            assert_eq!(
+                r.t_terms_for_coefficient(k),
+                want.to_vec(),
+                "T-set of c{k}"
+            );
+        }
+    }
+
+    #[test]
+    fn reduce_agrees_with_rem_for_random_polys() {
+        let f = Gf2Poly::from_exponents(&[13, 7, 6, 5, 0]);
+        let r = ReductionMatrix::new(&f);
+        // Deterministic pseudo-random degree-(2m-2) polynomials.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        for _ in 0..200 {
+            let mut d = Gf2Poly::zero();
+            for k in 0..=24 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                if state >> 63 == 1 {
+                    d.set_coeff(k, true);
+                }
+            }
+            assert_eq!(r.reduce(&d), d.rem_by(&f));
+        }
+    }
+
+    #[test]
+    fn reduce_of_low_degree_is_identity() {
+        let r = gf256_matrix();
+        let d = Gf2Poly::from_exponents(&[7, 3, 0]);
+        assert_eq!(r.reduce(&d), d);
+        assert_eq!(r.reduce(&Gf2Poly::zero()), Gf2Poly::zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds unreduced-product bound")]
+    fn reduce_rejects_too_high_degree() {
+        let r = gf256_matrix();
+        let _ = r.reduce(&Gf2Poly::monomial(15));
+    }
+
+    #[test]
+    fn entry_matches_column_bits() {
+        let r = gf256_matrix();
+        for i in 0..7 {
+            for k in 0..8 {
+                assert_eq!(r.entry(k, i), r.column(i).coeff(k));
+            }
+        }
+    }
+
+    #[test]
+    fn works_for_trinomial_moduli_too() {
+        // The machinery is generic in f, not pentanomial-specific.
+        let f = Gf2Poly::from_exponents(&[113, 9, 0]);
+        let r = ReductionMatrix::new(&f);
+        assert_eq!(r.m(), 113);
+        assert_eq!(*r.column(0), Gf2Poly::from_exponents(&[9, 0]));
+    }
+}

@@ -1,0 +1,44 @@
+//! Polynomials over GF(2) and irreducible-polynomial machinery.
+//!
+//! This crate is the algebraic substrate of the `rgf2m` workspace, the
+//! reproduction of Imaña, *"Reconfigurable implementation of GF(2^m)
+//! bit-parallel multipliers"* (DATE 2018). It provides:
+//!
+//! * [`Gf2Poly`] — dense, limb-packed polynomials over GF(2) with the full
+//!   ring tool-chest (addition, multiplication, squaring, Euclidean
+//!   division, GCD, modular exponentiation);
+//! * [`is_irreducible`] — Rabin's irreducibility test;
+//! * [`TypeIiPentanomial`] — the family `y^m + y^(n+2) + y^(n+1) + y^n + 1`
+//!   the paper builds multipliers for, with validated construction, search
+//!   and census helpers;
+//! * [`catalogue`] — the nine `(m, n)` pairs evaluated in the paper's
+//!   Table V plus the NIST/SECG curve fields it references.
+//!
+//! # Examples
+//!
+//! ```
+//! use gf2poly::{Gf2Poly, TypeIiPentanomial};
+//!
+//! // f(y) = y^8 + y^4 + y^3 + y^2 + 1, the paper's GF(2^8) modulus.
+//! let f = TypeIiPentanomial::new(8, 2)?.to_poly();
+//! assert_eq!(f.to_string(), "y^8 + y^4 + y^3 + y^2 + 1");
+//! assert!(gf2poly::is_irreducible(&f));
+//!
+//! // Polynomial arithmetic: (y + 1)^2 = y^2 + 1 over GF(2).
+//! let y_plus_1 = Gf2Poly::from_exponents(&[1, 0]);
+//! assert_eq!(y_plus_1.square(), Gf2Poly::from_exponents(&[2, 0]));
+//! # Ok::<(), gf2poly::PentanomialError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod irreducible;
+mod pentanomial;
+mod poly;
+
+pub mod catalogue;
+
+pub use irreducible::{is_irreducible, rabin_witness, IrreducibilityWitness};
+pub use pentanomial::{PentanomialError, TypeIiPentanomial};
+pub use poly::Gf2Poly;

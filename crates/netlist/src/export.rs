@@ -1,0 +1,360 @@
+//! HDL and graph backends: structural VHDL, Verilog, DOT and BLIF.
+//!
+//! The paper's design entry was behavioural VHDL compiled by Xilinx XST.
+//! Our generators produce gate-level netlists directly; these backends
+//! render them as structural HDL so the designs stay inspectable (and
+//! could be pushed through a real FPGA flow outside this repository).
+
+use std::fmt::Write as _;
+
+use crate::{Gate, Netlist};
+
+/// Sanitizes an identifier for HDL output (alphanumerics and `_` only).
+fn ident(name: &str) -> String {
+    let mut s: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    if s.is_empty() || s.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        s.insert(0, 'n');
+    }
+    s
+}
+
+impl Netlist {
+    /// Renders the netlist as a structural VHDL entity + architecture.
+    ///
+    /// Each primary input/output becomes a `std_logic` port; every gate
+    /// becomes a concurrent signal assignment, so any synthesis tool can
+    /// consume the file directly.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use netlist::Netlist;
+    /// let mut net = Netlist::new("tiny");
+    /// let a = net.input("a");
+    /// let b = net.input("b");
+    /// let y = net.xor(a, b);
+    /// net.output("y", y);
+    /// let vhdl = net.to_vhdl();
+    /// assert!(vhdl.contains("entity tiny is"));
+    /// assert!(vhdl.contains("xor"));
+    /// ```
+    pub fn to_vhdl(&self) -> String {
+        let name = ident(self.name());
+        let mut s = String::new();
+        let _ = writeln!(s, "library IEEE;");
+        let _ = writeln!(s, "use IEEE.STD_LOGIC_1164.ALL;");
+        let _ = writeln!(s);
+        let _ = writeln!(s, "entity {name} is");
+        let mut ports: Vec<String> = self
+            .input_names()
+            .iter()
+            .map(|n| format!("    {} : in  std_logic", ident(n)))
+            .collect();
+        ports.extend(
+            self.outputs()
+                .iter()
+                .map(|(n, _)| format!("    {} : out std_logic", ident(n))),
+        );
+        let _ = writeln!(s, "  port (\n{}\n  );", ports.join(";\n"));
+        let _ = writeln!(s, "end entity {name};");
+        let _ = writeln!(s);
+        let _ = writeln!(s, "architecture structural of {name} is");
+        for id in self.node_ids() {
+            if matches!(self.gate(id), Gate::And(_, _) | Gate::Xor(_, _)) {
+                let _ = writeln!(s, "  signal {id} : std_logic;");
+            }
+        }
+        let _ = writeln!(s, "begin");
+        for id in self.node_ids() {
+            match self.gate(id) {
+                Gate::Input(_) | Gate::Const(_) => {}
+                Gate::And(a, b) => {
+                    let _ = writeln!(
+                        s,
+                        "  {id} <= {} and {};",
+                        self.operand_vhdl(a),
+                        self.operand_vhdl(b)
+                    );
+                }
+                Gate::Xor(a, b) => {
+                    let _ = writeln!(
+                        s,
+                        "  {id} <= {} xor {};",
+                        self.operand_vhdl(a),
+                        self.operand_vhdl(b)
+                    );
+                }
+            }
+        }
+        for (oname, n) in self.outputs() {
+            let _ = writeln!(s, "  {} <= {};", ident(oname), self.operand_vhdl(*n));
+        }
+        let _ = writeln!(s, "end architecture structural;");
+        s
+    }
+
+    fn operand_vhdl(&self, n: crate::NodeId) -> String {
+        match self.gate(n) {
+            Gate::Input(i) => ident(&self.input_names()[i as usize]),
+            Gate::Const(false) => "'0'".to_string(),
+            Gate::Const(true) => "'1'".to_string(),
+            _ => n.to_string(),
+        }
+    }
+
+    /// Renders the netlist as a structural Verilog module.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use netlist::Netlist;
+    /// let mut net = Netlist::new("tiny");
+    /// let a = net.input("a");
+    /// let b = net.input("b");
+    /// let y = net.and(a, b);
+    /// net.output("y", y);
+    /// assert!(net.to_verilog().contains("module tiny"));
+    /// ```
+    pub fn to_verilog(&self) -> String {
+        let name = ident(self.name());
+        let mut s = String::new();
+        let mut ports: Vec<String> = self.input_names().iter().map(|n| ident(n)).collect();
+        ports.extend(self.outputs().iter().map(|(n, _)| ident(n)));
+        let _ = writeln!(s, "module {name}({});", ports.join(", "));
+        for n in self.input_names() {
+            let _ = writeln!(s, "  input {};", ident(n));
+        }
+        for (n, _) in self.outputs() {
+            let _ = writeln!(s, "  output {};", ident(n));
+        }
+        for id in self.node_ids() {
+            if matches!(self.gate(id), Gate::And(_, _) | Gate::Xor(_, _)) {
+                let _ = writeln!(s, "  wire {id};");
+            }
+        }
+        for id in self.node_ids() {
+            match self.gate(id) {
+                Gate::Input(_) | Gate::Const(_) => {}
+                Gate::And(a, b) => {
+                    let _ = writeln!(
+                        s,
+                        "  assign {id} = {} & {};",
+                        self.operand_verilog(a),
+                        self.operand_verilog(b)
+                    );
+                }
+                Gate::Xor(a, b) => {
+                    let _ = writeln!(
+                        s,
+                        "  assign {id} = {} ^ {};",
+                        self.operand_verilog(a),
+                        self.operand_verilog(b)
+                    );
+                }
+            }
+        }
+        for (oname, n) in self.outputs() {
+            let _ = writeln!(s, "  assign {} = {};", ident(oname), self.operand_verilog(*n));
+        }
+        let _ = writeln!(s, "endmodule");
+        s
+    }
+
+    fn operand_verilog(&self, n: crate::NodeId) -> String {
+        match self.gate(n) {
+            Gate::Input(i) => ident(&self.input_names()[i as usize]),
+            Gate::Const(false) => "1'b0".to_string(),
+            Gate::Const(true) => "1'b1".to_string(),
+            _ => n.to_string(),
+        }
+    }
+
+    /// Renders the netlist in Berkeley BLIF, the classic logic-synthesis
+    /// interchange format (consumable by ABC, SIS, VTR...).
+    pub fn to_blif(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, ".model {}", ident(self.name()));
+        let _ = writeln!(
+            s,
+            ".inputs {}",
+            self.input_names()
+                .iter()
+                .map(|n| ident(n))
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+        let _ = writeln!(
+            s,
+            ".outputs {}",
+            self.outputs()
+                .iter()
+                .map(|(n, _)| ident(n))
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+        for id in self.node_ids() {
+            match self.gate(id) {
+                Gate::Input(_) => {}
+                Gate::Const(v) => {
+                    let _ = writeln!(s, ".names {id}");
+                    if v {
+                        let _ = writeln!(s, "1");
+                    }
+                }
+                Gate::And(a, b) => {
+                    let _ = writeln!(
+                        s,
+                        ".names {} {} {id}\n11 1",
+                        self.operand_blif(a),
+                        self.operand_blif(b)
+                    );
+                }
+                Gate::Xor(a, b) => {
+                    let _ = writeln!(
+                        s,
+                        ".names {} {} {id}\n01 1\n10 1",
+                        self.operand_blif(a),
+                        self.operand_blif(b)
+                    );
+                }
+            }
+        }
+        for (oname, n) in self.outputs() {
+            let _ = writeln!(s, ".names {} {}\n1 1", self.operand_blif(*n), ident(oname));
+        }
+        let _ = writeln!(s, ".end");
+        s
+    }
+
+    fn operand_blif(&self, n: crate::NodeId) -> String {
+        match self.gate(n) {
+            Gate::Input(i) => ident(&self.input_names()[i as usize]),
+            _ => n.to_string(),
+        }
+    }
+
+    /// Renders the netlist as a Graphviz DOT digraph for visualization.
+    pub fn to_dot(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "digraph {} {{", ident(self.name()));
+        let _ = writeln!(s, "  rankdir=BT;");
+        for id in self.node_ids() {
+            match self.gate(id) {
+                Gate::Input(i) => {
+                    let _ = writeln!(
+                        s,
+                        "  {id} [shape=invtriangle,label=\"{}\"];",
+                        ident(&self.input_names()[i as usize])
+                    );
+                }
+                Gate::Const(v) => {
+                    let _ = writeln!(s, "  {id} [shape=box,label=\"{}\"];", v as u8);
+                }
+                Gate::And(a, b) => {
+                    let _ = writeln!(s, "  {id} [shape=ellipse,label=\"AND\"];");
+                    let _ = writeln!(s, "  {a} -> {id};\n  {b} -> {id};");
+                }
+                Gate::Xor(a, b) => {
+                    let _ = writeln!(s, "  {id} [shape=diamond,label=\"XOR\"];");
+                    let _ = writeln!(s, "  {a} -> {id};\n  {b} -> {id};");
+                }
+            }
+        }
+        for (i, (oname, n)) in self.outputs().iter().enumerate() {
+            let _ = writeln!(s, "  out{i} [shape=triangle,label=\"{}\"];", ident(oname));
+            let _ = writeln!(s, "  {n} -> out{i};");
+        }
+        let _ = writeln!(s, "}}");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Netlist {
+        let mut net = Netlist::new("gf4 mul"); // name needs sanitizing
+        let a0 = net.input("a0");
+        let a1 = net.input("a1");
+        let b0 = net.input("b0");
+        let b1 = net.input("b1");
+        let p00 = net.and(a0, b0);
+        let p11 = net.and(a1, b1);
+        let p01 = net.and(a0, b1);
+        let p10 = net.and(a1, b0);
+        let mid = net.xor(p01, p10);
+        let c0 = net.xor(p00, p11);
+        let c1 = net.xor(mid, p11);
+        net.output("c0", c0);
+        net.output("c1", c1);
+        net
+    }
+
+    #[test]
+    fn vhdl_structure() {
+        let v = sample().to_vhdl();
+        assert!(v.contains("entity gf4_mul is"));
+        assert!(v.contains("a0 : in  std_logic"));
+        assert!(v.contains("c1 : out std_logic"));
+        assert!(v.contains(" and "));
+        assert!(v.contains(" xor "));
+        assert!(v.contains("end architecture structural;"));
+        // Every internal gate must have exactly one driving assignment.
+        let assigns = v.matches("<=").count();
+        // 4 ANDs + 3 XORs + 2 output connections.
+        assert_eq!(assigns, 9);
+    }
+
+    #[test]
+    fn verilog_structure() {
+        let v = sample().to_verilog();
+        assert!(v.starts_with("module gf4_mul("));
+        assert_eq!(v.matches("assign").count(), 9);
+        assert!(v.trim_end().ends_with("endmodule"));
+    }
+
+    #[test]
+    fn blif_structure() {
+        let b = sample().to_blif();
+        assert!(b.contains(".model gf4_mul"));
+        assert!(b.contains(".inputs a0 a1 b0 b1"));
+        assert!(b.contains(".outputs c0 c1"));
+        assert!(b.contains("11 1")); // AND cover
+        assert!(b.contains("01 1\n10 1")); // XOR cover
+        assert!(b.trim_end().ends_with(".end"));
+    }
+
+    #[test]
+    fn dot_mentions_every_gate() {
+        let net = sample();
+        let d = net.to_dot();
+        assert_eq!(d.matches("AND").count(), 4);
+        assert_eq!(d.matches("XOR").count(), 3);
+        assert!(d.contains("digraph gf4_mul"));
+    }
+
+    #[test]
+    fn identifiers_are_sanitized() {
+        assert_eq!(ident("a-b c"), "a_b_c");
+        assert_eq!(ident("0abc"), "n0abc");
+        assert_eq!(ident(""), "n");
+    }
+
+    #[test]
+    fn constants_render_in_all_backends() {
+        let mut net = Netlist::new("c");
+        let a = net.input("a");
+        let t = net.constant(true);
+        // xor with constant true is preserved as a gate.
+        let y = net.xor(a, t);
+        net.output("y", y);
+        assert!(net.to_vhdl().contains("'1'"));
+        assert!(net.to_verilog().contains("1'b1"));
+        let blif = net.to_blif();
+        assert!(blif.contains(".names"));
+    }
+}

@@ -1,0 +1,460 @@
+//! The netlist intermediate representation.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a node inside a [`Netlist`].
+///
+/// `NodeId`s are indices into the owning netlist's gate array; they are
+/// only meaningful together with that netlist. Nodes are stored in
+/// topological order: a gate's operands always have smaller ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The raw index of the node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A single gate (or leaf) of a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Gate {
+    /// Primary input number `.0` (index into [`Netlist::input_names`]).
+    Input(u32),
+    /// Constant `false`/`true`.
+    Const(bool),
+    /// 2-input AND. Operands are ordered (`lhs ≤ rhs`) by construction.
+    And(NodeId, NodeId),
+    /// 2-input XOR. Operands are ordered (`lhs ≤ rhs`) by construction.
+    Xor(NodeId, NodeId),
+}
+
+/// A combinational XOR/AND netlist with named inputs and outputs.
+///
+/// Construction goes through [`Netlist::and`] / [`Netlist::xor`] (and the
+/// n-ary helpers), which perform *hash-consing* — structurally identical
+/// gates are created once and shared — plus local constant folding
+/// (`x·0 = 0`, `x·1 = x`, `x·x = x`, `x⊕0 = x`, `x⊕x = 0`). Operands of
+/// commutative gates are stored in normalized order so `and(a, b)` and
+/// `and(b, a)` are the same node.
+///
+/// # Examples
+///
+/// ```
+/// use netlist::Netlist;
+///
+/// let mut net = Netlist::new("shared");
+/// let a = net.input("a");
+/// let b = net.input("b");
+/// let g1 = net.and(a, b);
+/// let g2 = net.and(b, a);       // hash-consed: same node
+/// assert_eq!(g1, g2);
+/// let z = net.xor(g1, g1);      // folded to constant false
+/// net.output("z", z);
+/// assert_eq!(net.eval_bool(&[true, true]), vec![false]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Netlist {
+    name: String,
+    gates: Vec<Gate>,
+    input_names: Vec<String>,
+    outputs: Vec<(String, NodeId)>,
+    dedup: HashMap<Gate, NodeId>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist with the given entity/module name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Netlist {
+            name: name.into(),
+            gates: Vec::new(),
+            input_names: Vec::new(),
+            outputs: Vec::new(),
+            dedup: HashMap::new(),
+        }
+    }
+
+    /// The entity/module name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a primary input and returns its node.
+    pub fn input(&mut self, name: impl Into<String>) -> NodeId {
+        let idx = self.input_names.len() as u32;
+        self.input_names.push(name.into());
+        self.push(Gate::Input(idx))
+    }
+
+    /// Returns the node of a constant.
+    pub fn constant(&mut self, value: bool) -> NodeId {
+        self.intern(Gate::Const(value))
+    }
+
+    /// Returns the AND of two nodes (hash-consed, constant-folded).
+    pub fn and(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        match (self.gates[a.index()], self.gates[b.index()]) {
+            (Gate::Const(false), _) | (_, Gate::Const(false)) => self.constant(false),
+            (Gate::Const(true), _) => b,
+            (_, Gate::Const(true)) => a,
+            _ if a == b => a,
+            _ => self.intern(Gate::And(a, b)),
+        }
+    }
+
+    /// Returns the XOR of two nodes (hash-consed, constant-folded).
+    pub fn xor(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        if a == b {
+            return self.constant(false);
+        }
+        match (self.gates[a.index()], self.gates[b.index()]) {
+            (Gate::Const(false), _) => b,
+            (_, Gate::Const(false)) => a,
+            (Gate::Const(true), Gate::Const(true)) => self.constant(false),
+            _ => self.intern(Gate::Xor(a, b)),
+        }
+    }
+
+    /// XORs a set of nodes as a *balanced* binary tree (minimum depth).
+    ///
+    /// Returns constant `false` for an empty slice.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use netlist::Netlist;
+    /// let mut net = Netlist::new("tree");
+    /// let xs: Vec<_> = (0..8).map(|i| net.input(format!("x{i}"))).collect();
+    /// let root = net.xor_balanced(&xs);
+    /// net.output("y", root);
+    /// assert_eq!(net.depth().xors, 3); // complete tree over 8 leaves
+    /// ```
+    pub fn xor_balanced(&mut self, nodes: &[NodeId]) -> NodeId {
+        match nodes {
+            [] => self.constant(false),
+            [single] => *single,
+            _ => {
+                let mut layer = nodes.to_vec();
+                while layer.len() > 1 {
+                    let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+                    for pair in layer.chunks(2) {
+                        next.push(match pair {
+                            [x, y] => self.xor(*x, *y),
+                            [x] => *x,
+                            _ => unreachable!(),
+                        });
+                    }
+                    layer = next;
+                }
+                layer[0]
+            }
+        }
+    }
+
+    /// XORs a set of nodes as a left-leaning chain (maximum depth).
+    ///
+    /// Useful to model naive sequential accumulation; returns constant
+    /// `false` for an empty slice.
+    pub fn xor_chain(&mut self, nodes: &[NodeId]) -> NodeId {
+        match nodes {
+            [] => self.constant(false),
+            [first, rest @ ..] => {
+                let mut acc = *first;
+                for &n in rest {
+                    acc = self.xor(acc, n);
+                }
+                acc
+            }
+        }
+    }
+
+    /// XORs a set of nodes pairing *shallowest first* (Huffman on depth),
+    /// which minimizes the resulting XOR depth for operands of unequal
+    /// depth. This models the paper's same-level pairing discipline [7].
+    pub fn xor_depth_aware(&mut self, nodes: &[NodeId]) -> NodeId {
+        if nodes.is_empty() {
+            return self.constant(false);
+        }
+        let depths = crate::analysis::node_depths(self);
+        // Min-heap on (total depth, id) — deterministic tie-breaking.
+        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u32, NodeId)>> = nodes
+            .iter()
+            .map(|&n| std::cmp::Reverse((depths[n.index()].xors, n)))
+            .collect();
+        while heap.len() > 1 {
+            let std::cmp::Reverse((d1, n1)) = heap.pop().expect("len > 1");
+            let std::cmp::Reverse((d2, n2)) = heap.pop().expect("len > 1");
+            let merged = self.xor(n1, n2);
+            heap.push(std::cmp::Reverse((d1.max(d2) + 1, merged)));
+        }
+        let std::cmp::Reverse((_, root)) = heap.pop().expect("nonempty");
+        root
+    }
+
+    /// Marks `node` as a primary output under `name`.
+    pub fn output(&mut self, name: impl Into<String>, node: NodeId) {
+        self.outputs.push((name.into(), node));
+    }
+
+    /// The gate defining `node`.
+    pub fn gate(&self, node: NodeId) -> Gate {
+        self.gates[node.index()]
+    }
+
+    /// All gates in topological order (operands precede users).
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Number of nodes (inputs + constants + gates).
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Returns `true` if the netlist has no nodes at all.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// Names of the primary inputs, in creation order.
+    pub fn input_names(&self) -> &[String] {
+        &self.input_names
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.input_names.len()
+    }
+
+    /// The primary outputs: `(name, node)` pairs in declaration order.
+    pub fn outputs(&self) -> &[(String, NodeId)] {
+        &self.outputs
+    }
+
+    /// Iterates over all node ids in topological order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.gates.len() as u32).map(NodeId)
+    }
+
+    /// The [`NodeId`] at a raw index (inverse of [`NodeId::index`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn node_id(&self, index: usize) -> NodeId {
+        assert!(index < self.gates.len(), "node index {index} out of range");
+        NodeId(index as u32)
+    }
+
+    /// Removes gates not reachable from any output (dead-code
+    /// elimination), compacting ids. All primary inputs are kept, so the
+    /// interface is unchanged.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use netlist::Netlist;
+    /// let mut net = Netlist::new("dce");
+    /// let a = net.input("a");
+    /// let b = net.input("b");
+    /// let used = net.xor(a, b);
+    /// let _dead = net.and(a, b);
+    /// net.output("y", used);
+    /// let clean = net.eliminate_dead_code();
+    /// assert_eq!(clean.stats().ands, 0);
+    /// assert_eq!(clean.stats().xors, 1);
+    /// ```
+    pub fn eliminate_dead_code(&self) -> Netlist {
+        let mut live = vec![false; self.gates.len()];
+        let mut stack: Vec<NodeId> = self.outputs.iter().map(|(_, n)| *n).collect();
+        while let Some(n) = stack.pop() {
+            if std::mem::replace(&mut live[n.index()], true) {
+                continue;
+            }
+            match self.gates[n.index()] {
+                Gate::And(a, b) | Gate::Xor(a, b) => {
+                    stack.push(a);
+                    stack.push(b);
+                }
+                Gate::Input(_) | Gate::Const(_) => {}
+            }
+        }
+        // Keep every input even if dead, to preserve the interface.
+        for (i, g) in self.gates.iter().enumerate() {
+            if matches!(g, Gate::Input(_)) {
+                live[i] = true;
+            }
+        }
+        let mut out = Netlist::new(self.name.clone());
+        out.input_names = self.input_names.clone();
+        let mut remap: Vec<Option<NodeId>> = vec![None; self.gates.len()];
+        for (i, g) in self.gates.iter().enumerate() {
+            if !live[i] {
+                continue;
+            }
+            let new_id = match *g {
+                Gate::Input(idx) => out.push(Gate::Input(idx)),
+                Gate::Const(v) => out.intern(Gate::Const(v)),
+                Gate::And(a, b) => {
+                    let (na, nb) = (remap[a.index()].unwrap(), remap[b.index()].unwrap());
+                    out.intern(Gate::And(na, nb))
+                }
+                Gate::Xor(a, b) => {
+                    let (na, nb) = (remap[a.index()].unwrap(), remap[b.index()].unwrap());
+                    out.intern(Gate::Xor(na, nb))
+                }
+            };
+            remap[i] = Some(new_id);
+        }
+        for (name, n) in &self.outputs {
+            out.output(name.clone(), remap[n.index()].expect("outputs are live"));
+        }
+        out
+    }
+
+    fn intern(&mut self, gate: Gate) -> NodeId {
+        if let Some(&id) = self.dedup.get(&gate) {
+            return id;
+        }
+        let id = self.push(gate);
+        self.dedup.insert(gate, id);
+        id
+    }
+
+    fn push(&mut self, gate: Gate) -> NodeId {
+        let id = NodeId(u32::try_from(self.gates.len()).expect("netlist exceeds u32 nodes"));
+        self.gates.push(gate);
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_consing_dedups_commutative_operands() {
+        let mut net = Netlist::new("t");
+        let a = net.input("a");
+        let b = net.input("b");
+        assert_eq!(net.and(a, b), net.and(b, a));
+        assert_eq!(net.xor(a, b), net.xor(b, a));
+        // Only 2 inputs + 1 and + 1 xor.
+        assert_eq!(net.len(), 4);
+    }
+
+    #[test]
+    fn constant_folding_rules() {
+        let mut net = Netlist::new("t");
+        let a = net.input("a");
+        let f = net.constant(false);
+        let t = net.constant(true);
+        assert_eq!(net.and(a, f), f);
+        assert_eq!(net.and(a, t), a);
+        assert_eq!(net.and(a, a), a);
+        assert_eq!(net.xor(a, f), a);
+        assert_eq!(net.xor(a, a), f);
+        assert_eq!(net.xor(f, t), t);
+        assert_eq!(net.xor(t, t), f);
+    }
+
+    #[test]
+    fn operands_precede_users() {
+        let mut net = Netlist::new("t");
+        let a = net.input("a");
+        let b = net.input("b");
+        let g = net.and(a, b);
+        let h = net.xor(g, a);
+        for id in net.node_ids() {
+            if let Gate::And(x, y) | Gate::Xor(x, y) = net.gate(id) {
+                assert!(x < id && y < id);
+            }
+        }
+        assert!(g < h);
+    }
+
+    #[test]
+    fn xor_balanced_depth_is_logarithmic() {
+        let mut net = Netlist::new("t");
+        let xs: Vec<NodeId> = (0..13).map(|i| net.input(format!("x{i}"))).collect();
+        let root = net.xor_balanced(&xs);
+        net.output("y", root);
+        assert_eq!(net.depth().xors, 4); // ceil(log2 13)
+    }
+
+    #[test]
+    fn xor_chain_depth_is_linear() {
+        let mut net = Netlist::new("t");
+        let xs: Vec<NodeId> = (0..13).map(|i| net.input(format!("x{i}"))).collect();
+        let root = net.xor_chain(&xs);
+        net.output("y", root);
+        assert_eq!(net.depth().xors, 12);
+    }
+
+    #[test]
+    fn xor_depth_aware_handles_unequal_depths() {
+        let mut net = Netlist::new("t");
+        // One deep node (depth 3) and three leaves: Huffman pairing gives
+        // total depth 4, not 5.
+        let deep_leaves: Vec<NodeId> = (0..8).map(|i| net.input(format!("d{i}"))).collect();
+        let deep = net.xor_balanced(&deep_leaves);
+        let l1 = net.input("l1");
+        let l2 = net.input("l2");
+        let l3 = net.input("l3");
+        let root = net.xor_depth_aware(&[deep, l1, l2, l3]);
+        net.output("y", root);
+        assert_eq!(net.depth().xors, 4);
+    }
+
+    #[test]
+    fn empty_xor_helpers_yield_constant_false() {
+        let mut net = Netlist::new("t");
+        let z1 = net.xor_balanced(&[]);
+        let z2 = net.xor_chain(&[]);
+        let z3 = net.xor_depth_aware(&[]);
+        assert_eq!(net.gate(z1), Gate::Const(false));
+        assert_eq!(net.gate(z2), Gate::Const(false));
+        assert_eq!(net.gate(z3), Gate::Const(false));
+    }
+
+    #[test]
+    fn dce_keeps_interface_and_drops_dead_logic() {
+        let mut net = Netlist::new("t");
+        let a = net.input("a");
+        let b = net.input("b");
+        let c = net.input("c"); // never used
+        let keep = net.xor(a, b);
+        let d1 = net.and(a, c);
+        let _d2 = net.xor(d1, b);
+        net.output("y", keep);
+        let clean = net.eliminate_dead_code();
+        assert_eq!(clean.num_inputs(), 3);
+        assert_eq!(clean.stats().ands, 0);
+        assert_eq!(clean.stats().xors, 1);
+        assert_eq!(clean.outputs().len(), 1);
+        // Behaviour preserved.
+        for bits in 0..8u32 {
+            let ins: Vec<bool> = (0..3).map(|i| (bits >> i) & 1 == 1).collect();
+            assert_eq!(net.eval_bool(&ins), clean.eval_bool(&ins));
+        }
+    }
+
+    #[test]
+    fn single_node_xor_helpers_return_operand() {
+        let mut net = Netlist::new("t");
+        let a = net.input("a");
+        assert_eq!(net.xor_balanced(&[a]), a);
+        assert_eq!(net.xor_chain(&[a]), a);
+        assert_eq!(net.xor_depth_aware(&[a]), a);
+    }
+}

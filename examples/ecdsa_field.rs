@@ -1,0 +1,91 @@
+//! The ECDSA use-case: NIST B-163 elliptic-curve arithmetic over
+//! GF(2^163), the binary field whose multipliers fill the bottom of the
+//! paper's Table V, plus a look at the type II pentanomial fields
+//! (163, 66) and (163, 68) the paper implements.
+//!
+//! Run with: `cargo run --release --example ecdsa_field`
+
+use rgf2m::apps::binary_ec::{BinaryCurve, Point};
+use rgf2m::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The curve layer: NIST B-163 over the FIPS 186-4 modulus.
+    let curve = BinaryCurve::nist_b163();
+    println!("NIST B-163 over GF(2^163), f(y) = {}", curve.field().modulus());
+    let g = curve.base_point();
+    println!("base point on curve: {}", curve.is_on_curve(&g));
+
+    // A toy Diffie-Hellman: alice/bob scalars (small, for demo speed).
+    let alice = 0x1ed_c0de_u64;
+    let bob = 0x5eed_5eed_u64;
+    let pub_a = curve.scalar_mul_u64(alice, &g);
+    let pub_b = curve.scalar_mul_u64(bob, &g);
+    let shared_a = curve.scalar_mul_u64(alice, &pub_b);
+    let shared_b = curve.scalar_mul_u64(bob, &pub_a);
+    println!("toy ECDH shared secrets agree: {}", shared_a == shared_b);
+
+    // The subgroup order really annihilates G (the full 163-bit scalar).
+    let order = curve.order_bits();
+    println!(
+        "r·G = O for the published 163-bit order: {}",
+        curve.scalar_mul_bits(&order, &g).is_infinity()
+    );
+
+    // 2. The field layer the paper optimizes: the type II pentanomials
+    //    for m = 163 used in Table V.
+    println!("\ntype II pentanomial fields for m = 163 (paper's Table V):");
+    for n in [66usize, 68] {
+        let penta = TypeIiPentanomial::new(163, n)?;
+        let field = Field::from_pentanomial(&penta);
+        let a = field.element_from_limbs(vec![0xdead_beef_1357_9bdf, 0x0246_8ace, 0x5]);
+        let inv = field.inverse(&a).expect("nonzero");
+        let ok = field.mul(&a, &inv).is_one();
+        println!("  (163,{n}): f(y) = {penta}; a·a⁻¹ = 1: {ok}");
+    }
+    // All irreducible type II pentanomials for m = 163:
+    let all = TypeIiPentanomial::find_all(163);
+    let ns: Vec<usize> = all.iter().map(|p| p.n()).collect();
+    println!("  all irreducible n for m = 163: {ns:?}");
+
+    // 3. Point decompression needs solve_quadratic — exercise it.
+    let field = curve.field();
+    if let Point::Affine(gx, gy) = &g {
+        // Recover y from x: y = x·z where z² + z = x + a + b/x².
+        let x2 = field.square(gx);
+        let rhs = {
+            let binv = field.inverse(&x2).expect("x != 0");
+            let b = field
+                .mul(&rgf2m::gf2poly::Gf2Poly::from_hex(
+                    "20a601907b8c953ca1481eb10512f78744a3205fd",
+                )
+                .expect("valid"), &binv);
+            let mut t = field.add(gx, &rgf2m::gf2poly::Gf2Poly::one()); // + a (=1)
+            t = field.add(&t, &b);
+            t
+        };
+        match field.solve_quadratic(&rhs) {
+            Some(z) => {
+                let y1 = field.mul(gx, &z);
+                let one = rgf2m::gf2poly::Gf2Poly::one();
+                let y2 = field.mul(gx, &field.add(&z, &one));
+                let recovered = &y1 == gy || &y2 == gy;
+                println!("\npoint decompression via half-trace recovers G.y: {recovered}");
+            }
+            None => println!("\npoint decompression: trace obstruction (unexpected)"),
+        }
+    }
+
+    // 4. How much multiplier hardware would a B-163 point double cost?
+    //    (field muls per double: 2 + 1 inversion ≈ many muls; the paper's
+    //    multipliers are exactly this bottleneck.)
+    let penta = TypeIiPentanomial::new(163, 66)?;
+    let tfield = Field::from_pentanomial(&penta);
+    let net = generate(&tfield, Method::ProposedFlat);
+    let s = net.stats();
+    println!(
+        "\none (163,66) proposed multiplier: {} AND + {} XOR gates, delay {}",
+        s.ands, s.xors, s.depth
+    );
+    println!("paper's Table V row: 11295 LUTs / 3621 slices / 22.77 ns post-P&R");
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! Census of type II irreducible pentanomials — substantiating the
+//! paper's claim that they "are abundant and all five binary fields
+//! recommended by NIST for ECDSA can be constructed using such
+//! polynomials".
+//!
+//! Run with: `cargo run --release --example pentanomial_census [--nist]`
+//!
+//! With `--nist`, also verifies the claim for every NIST ECDSA degree
+//! including m = 571 (a few seconds in release mode).
+
+use rgf2m::gf2poly::{catalogue, TypeIiPentanomial};
+
+fn main() {
+    let do_nist = std::env::args().any(|a| a == "--nist");
+
+    println!("type II irreducible pentanomials y^m + y^(n+2) + y^(n+1) + y^n + 1");
+    println!();
+    println!("{:>5} {:>10} {:>14}  first few n", "m", "#shapes", "#irreducible");
+    let mut total_shapes = 0usize;
+    let mut total_irreducible = 0usize;
+    let mut degrees_with_none = Vec::new();
+    for m in 6..=163usize {
+        let shapes = (m / 2).saturating_sub(2);
+        let found = TypeIiPentanomial::find_all(m);
+        total_shapes += shapes;
+        total_irreducible += found.len();
+        if found.is_empty() {
+            degrees_with_none.push(m);
+        }
+        if m % 13 == 0 || m == 8 || m == 163 {
+            let first: Vec<usize> = found.iter().take(5).map(|p| p.n()).collect();
+            println!("{m:>5} {shapes:>10} {:>14}  {first:?}", found.len());
+        }
+    }
+    println!();
+    println!(
+        "degrees 6..=163: {total_irreducible} irreducible type II pentanomials out of {total_shapes} shapes ({:.1}%)",
+        100.0 * total_irreducible as f64 / total_shapes as f64
+    );
+    println!(
+        "degrees with none: {} of 158 ({:?}{})",
+        degrees_with_none.len(),
+        &degrees_with_none[..degrees_with_none.len().min(12)],
+        if degrees_with_none.len() > 12 { ", …" } else { "" }
+    );
+
+    println!();
+    println!("the paper's Table V pairs, revalidated:");
+    for p in catalogue::table_v_pentanomials() {
+        println!("  ({:>3},{:>2}): {p}", p.m(), p.n());
+    }
+
+    let nist: &[usize] = if do_nist {
+        &catalogue::NIST_DEGREES
+    } else {
+        &catalogue::NIST_DEGREES[..3]
+    };
+    println!();
+    println!("NIST ECDSA degrees admitting a type II pentanomial:");
+    for &m in nist {
+        match TypeIiPentanomial::first(m) {
+            Some(p) => println!("  m = {m}: yes — smallest n = {} ({p})", p.n()),
+            None => println!("  m = {m}: NO (claim violated!)"),
+        }
+    }
+    if !do_nist {
+        println!("  (m = 409, 571 skipped; pass --nist to include them)");
+    }
+}

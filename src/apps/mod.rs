@@ -1,0 +1,7 @@
+//! Application substrates built on the GF(2^m) arithmetic — the two
+//! domains the paper's introduction motivates: error-control codes
+//! (Reed-Solomon over GF(2^8), as used in space links and CDs) and
+//! elliptic-curve cryptography (NIST binary curves for ECDSA).
+
+pub mod binary_ec;
+pub mod reed_solomon;

@@ -1,0 +1,80 @@
+//! # rgf2m — Reconfigurable GF(2^m) bit-parallel multipliers
+//!
+//! A from-scratch reproduction of Imaña, *"Reconfigurable implementation
+//! of GF(2^m) bit-parallel multipliers"* (DATE 2018): the full pipeline
+//! from finite-field algebra to post-"place-and-route" area/time numbers,
+//! in pure Rust.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | layer | crate | what it gives you |
+//! |---|---|---|
+//! | polynomials over GF(2) | [`gf2poly`] | arithmetic, irreducibility, type II pentanomials |
+//! | field arithmetic | [`gf2m`] | GF(2^m) software oracle, reduction/Mastrovito matrices |
+//! | gate-level IR | [`netlist`] | XOR/AND netlists, simulation, HDL export |
+//! | **paper's contribution** | [`core`] | S/T algebra, splitting, the flat *reconfigurable* generators |
+//! | baselines | [`baselines`] | Mastrovito/Paar, Reyhani-Masoleh & Hasan, Rashidi |
+//! | FPGA substrate | [`fpga`] | resynthesis, LUT mapping, packing, placement, timing |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rgf2m::prelude::*;
+//!
+//! // The paper's GF(2^8) field: f(y) = y^8 + y^4 + y^3 + y^2 + 1.
+//! let field = Field::from_pentanomial(&TypeIiPentanomial::new(8, 2)?);
+//!
+//! // Software multiplication (the oracle)...
+//! let a = field.element_from_bits(0x57);
+//! let b = field.element_from_bits(0x83);
+//! let c = field.mul(&a, &b);
+//!
+//! // ...and the paper's proposed gate-level multiplier, which agrees:
+//! let net = generate(&field, Method::ProposedFlat);
+//! let mut inputs = Vec::new();
+//! for i in 0..8 {
+//!     inputs.push((0x57 >> i) & 1 == 1);
+//! }
+//! for i in 0..8 {
+//!     inputs.push((0x83 >> i) & 1 == 1);
+//! }
+//! let out = net.eval_bool(&inputs);
+//! for k in 0..8 {
+//!     assert_eq!(out[k], c.coeff(k));
+//! }
+//!
+//! // Push it through the FPGA flow for Table V-style numbers:
+//! let report = FpgaFlow::new().run(&net);
+//! assert!(report.luts > 0 && report.time_ns > 0.0);
+//! # Ok::<(), gf2poly::PentanomialError>(())
+//! ```
+//!
+//! See `examples/` for complete scenarios (Reed-Solomon over the CCSDS
+//! field, NIST B-163 ECDSA field arithmetic, a pentanomial census, and a
+//! synthesis-space explorer), and the `rgf2m-bench` crate for the
+//! binaries regenerating every table of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apps;
+
+pub use gf2m;
+pub use gf2poly;
+pub use netlist;
+pub use rgf2m_baselines as baselines;
+pub use rgf2m_core as core;
+pub use rgf2m_fpga as fpga;
+
+/// The most commonly used items, one `use` away.
+pub mod prelude {
+    pub use gf2m::{Field, FieldError, MastrovitoMatrix, ReductionMatrix};
+    pub use gf2poly::{is_irreducible, Gf2Poly, PentanomialError, TypeIiPentanomial};
+    pub use netlist::{Gate, Netlist, NodeId};
+    pub use rgf2m_baselines::{MastrovitoPaar, Rashidi, ReyhaniHasan, School};
+    pub use rgf2m_core::{
+        generate, AtomKind, CoefficientTable, FlatCoefficientTable, Method,
+        MultiplierGenerator, ProductTerm, SiTi, SplitAtom,
+    };
+    pub use rgf2m_fpga::{FpgaFlow, ImplReport, MapMode, MapOptions};
+}

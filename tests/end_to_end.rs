@@ -1,0 +1,133 @@
+//! Workspace-level integration tests: algebra → generators → netlists →
+//! FPGA flow → applications, crossing every crate boundary.
+
+use rgf2m::baselines::{MastrovitoPaar, Rashidi, ReyhaniHasan};
+use rgf2m::prelude::*;
+
+fn all_methods() -> Vec<Box<dyn MultiplierGenerator>> {
+    vec![
+        Box::new(MastrovitoPaar),
+        Box::new(Rashidi),
+        Box::new(ReyhaniHasan),
+        Method::Imana2012.generator(),
+        Method::Imana2016.generator(),
+        Method::ProposedFlat.generator(),
+    ]
+}
+
+#[test]
+fn every_method_exhaustively_correct_on_the_papers_field() {
+    let field = Field::from_pentanomial(&TypeIiPentanomial::new(8, 2).unwrap());
+    for gen in all_methods() {
+        let net = gen.generate(&field);
+        let oracle = |w: &[u64]| field.mul_words(w);
+        let r = netlist::sim::check_against_oracle_exhaustive(&net, oracle);
+        assert!(r.is_equivalent(), "{}: {r:?}", gen.name());
+    }
+}
+
+#[test]
+fn every_method_survives_the_full_fpga_flow_on_gf256() {
+    let field = Field::from_pentanomial(&TypeIiPentanomial::new(8, 2).unwrap());
+    for gen in all_methods() {
+        let net = gen.generate(&field);
+        // The flow itself re-verifies the mapping on random vectors and
+        // panics on any mismatch.
+        let report = FpgaFlow::new().run(&net);
+        assert!(report.luts >= 17, "{}: too few LUTs to be real", gen.name());
+        assert!(report.time_ns > 4.0, "{}", gen.name());
+    }
+}
+
+#[test]
+fn mapped_multiplier_still_multiplies_through_lut_simulation() {
+    let field = Field::from_pentanomial(&TypeIiPentanomial::new(8, 2).unwrap());
+    let net = generate(&field, Method::ProposedFlat);
+    let artifacts = FpgaFlow::new().run_detailed(&net);
+    // Exhaustive check of the LUT netlist against the software oracle.
+    let mut base = 0u64;
+    while base < (1 << 16) {
+        let words: Vec<u64> = (0..16)
+            .map(|i| {
+                let mut w = 0u64;
+                for l in 0..64 {
+                    if ((base + l) >> i) & 1 == 1 {
+                        w |= 1 << l;
+                    }
+                }
+                w
+            })
+            .collect();
+        assert_eq!(
+            artifacts.mapped.eval_words(&words),
+            field.mul_words(&words),
+            "at base {base}"
+        );
+        base += 64;
+    }
+}
+
+#[test]
+fn hdl_exports_are_syntactically_plausible_for_all_methods() {
+    let field = Field::from_pentanomial(&TypeIiPentanomial::new(13, 5).unwrap());
+    for gen in all_methods() {
+        let net = gen.generate(&field);
+        let vhdl = net.to_vhdl();
+        assert_eq!(vhdl.matches("entity").count(), 2, "{}", gen.name());
+        assert!(vhdl.contains("port ("), "{}", gen.name());
+        let verilog = net.to_verilog();
+        assert_eq!(verilog.matches("module").count(), 2, "{}", gen.name()); // module + endmodule
+        let blif = net.to_blif();
+        assert!(blif.contains(".model"), "{}", gen.name());
+        assert!(blif.contains(".end"), "{}", gen.name());
+    }
+}
+
+#[test]
+fn reed_solomon_runs_on_top_of_the_same_field_layer() {
+    use rgf2m::apps::reed_solomon::ReedSolomon;
+    let rs = ReedSolomon::ccsds();
+    // The codec field is literally the paper's multiplier field.
+    assert_eq!(
+        rs.field().modulus(),
+        &gf2poly::Gf2Poly::from_exponents(&[8, 4, 3, 2, 0])
+    );
+    let data: Vec<u8> = (0..223).map(|i| (i ^ 0x5a) as u8).collect();
+    let mut cw = rs.encode(&data);
+    cw[5] ^= 1;
+    cw[250] ^= 0x80;
+    assert_eq!(&rs.decode(&cw).unwrap()[..223], &data[..]);
+}
+
+#[test]
+fn binary_curve_runs_on_top_of_the_same_field_layer() {
+    use rgf2m::apps::binary_ec::BinaryCurve;
+    let curve = BinaryCurve::nist_b163();
+    let g = curve.base_point();
+    let p = curve.scalar_mul_u64(12345, &g);
+    assert!(curve.is_on_curve(&p));
+}
+
+#[test]
+fn proposed_method_generalizes_to_every_table_v_field() {
+    for &(m, n) in &gf2poly::catalogue::TABLE_V_FIELDS {
+        let field = Field::from_pentanomial(&TypeIiPentanomial::new(m, n).unwrap());
+        let net = generate(&field, Method::ProposedFlat);
+        assert_eq!(net.num_inputs(), 2 * m, "({m},{n})");
+        assert_eq!(net.outputs().len(), m, "({m},{n})");
+        assert_eq!(net.stats().ands, m * m, "({m},{n}): AND count");
+        let oracle = |w: &[u64]| field.mul_words(w);
+        let r = netlist::sim::check_against_oracle_random(&net, oracle, 2, 42);
+        assert!(r.is_equivalent(), "({m},{n}): {r:?}");
+    }
+}
+
+#[test]
+fn dce_and_resynthesis_preserve_multiplier_semantics() {
+    let field = Field::from_pentanomial(&TypeIiPentanomial::new(16, 3).unwrap());
+    let net = generate(&field, Method::ProposedFlat);
+    let clean = net.eliminate_dead_code();
+    let resynth = rgf2m::fpga::resynth::rebalance_xors(&clean, 6);
+    let oracle = |w: &[u64]| field.mul_words(w);
+    assert!(netlist::sim::check_against_oracle_random(&resynth, oracle, 8, 3).is_equivalent());
+}
