@@ -96,12 +96,7 @@ impl MultiplierGenerator for Karatsuba {
 
 /// Recursive Karatsuba over coordinate slices; returns the 2n−1
 /// coefficients of the polynomial product.
-fn karatsuba_rec(
-    net: &mut Netlist,
-    a: &[NodeId],
-    b: &[NodeId],
-    threshold: usize,
-) -> Vec<NodeId> {
+fn karatsuba_rec(net: &mut Netlist, a: &[NodeId], b: &[NodeId], threshold: usize) -> Vec<NodeId> {
     let n = a.len();
     debug_assert_eq!(n, b.len());
     if n == 0 {

@@ -70,7 +70,7 @@ mod tests {
             .map(|k| coefficient_support(&field, k).len())
             .max()
             .unwrap();
-        let want = (usize::BITS - (max_support - 1).leading_zeros()) as u32;
+        let want = usize::BITS - (max_support - 1).leading_zeros();
         let d = Rashidi.generate(&field).depth();
         assert_eq!(d.ands, 1);
         assert_eq!(d.xors, want);

@@ -42,10 +42,8 @@ impl MultiplierGenerator for ReyhaniHasan {
         // (a_i·b_{k−i} for ascending i — no z-pair substructure).
         let d_nodes: Vec<_> = (0..=2 * m - 2)
             .map(|k| {
-                let mut pairs: Vec<(usize, usize)> = d_terms(m, k)
-                    .iter()
-                    .flat_map(|t| t.products())
-                    .collect();
+                let mut pairs: Vec<(usize, usize)> =
+                    d_terms(m, k).iter().flat_map(|t| t.products()).collect();
                 pairs.sort_unstable();
                 let products: Vec<_> = pairs
                     .into_iter()
@@ -127,8 +125,7 @@ mod tests {
             let red = field.reduction_matrix();
             let tree_xors: usize = (0..=2 * m - 2)
                 .map(|k| {
-                    let products: usize =
-                        d_terms(m, k).iter().map(|t| t.num_products()).sum();
+                    let products: usize = d_terms(m, k).iter().map(|t| t.num_products()).sum();
                     products - 1
                 })
                 .sum();

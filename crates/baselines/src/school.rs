@@ -31,10 +31,7 @@ impl MultiplierGenerator for School {
         let d_nodes: Vec<_> = (0..=2 * m - 2)
             .map(|k| {
                 // Chain over raw products in schoolbook order.
-                let products: Vec<_> = d_terms(m, k)
-                    .iter()
-                    .flat_map(|t| t.products())
-                    .collect();
+                let products: Vec<_> = d_terms(m, k).iter().flat_map(|t| t.products()).collect();
                 let nodes: Vec<_> = products
                     .into_iter()
                     .map(|(i, j)| circuit.product(i, j))
@@ -79,7 +76,10 @@ mod tests {
         let field = gf256();
         let school = School.generate(&field).depth().xors;
         let rashidi = crate::Rashidi.generate(&field).depth().xors;
-        assert!(school >= 2 * rashidi, "school {school} vs rashidi {rashidi}");
+        assert!(
+            school >= 2 * rashidi,
+            "school {school} vs rashidi {rashidi}"
+        );
     }
 
     #[test]

@@ -28,14 +28,15 @@ pub fn coefficient_support(field: &Field, k: usize) -> Vec<(usize, usize)> {
     assert!(k < m, "coefficient index {k} out of range for m = {m}");
     let red = field.reduction_matrix();
     let mut present = std::collections::HashMap::new();
-    let toggle_antidiagonal = |sum: usize, present: &mut std::collections::HashMap<(usize, usize), bool>| {
-        for i in sum.saturating_sub(m - 1)..=sum.min(m - 1) {
-            let j = sum - i;
-            if j < m {
-                *present.entry((i, j)).or_insert(false) ^= true;
+    let toggle_antidiagonal =
+        |sum: usize, present: &mut std::collections::HashMap<(usize, usize), bool>| {
+            for i in sum.saturating_sub(m - 1)..=sum.min(m - 1) {
+                let j = sum - i;
+                if j < m {
+                    *present.entry((i, j)).or_insert(false) ^= true;
+                }
             }
-        }
-    };
+        };
     toggle_antidiagonal(k, &mut present);
     for t in 0..m - 1 {
         if red.entry(k, t) {

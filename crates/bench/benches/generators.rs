@@ -10,11 +10,9 @@ fn bench_generators(c: &mut Criterion) {
     for (m, n) in [(8usize, 2usize), (64, 23)] {
         let field = field_for(m, n);
         for gen in table_v_generators() {
-            group.bench_with_input(
-                BenchmarkId::new(gen.name(), m),
-                &m,
-                |b, _| b.iter(|| std::hint::black_box(gen.generate(&field))),
-            );
+            group.bench_with_input(BenchmarkId::new(gen.name(), m), &m, |b, _| {
+                b.iter(|| std::hint::black_box(gen.generate(&field)))
+            });
         }
     }
     group.finish();

@@ -10,7 +10,9 @@ fn bench_sim(c: &mut Criterion) {
     for (m, n) in [(8usize, 2usize), (64, 23), (163, 66)] {
         let field = field_for(m, n);
         let net = generate(&field, Method::ProposedFlat);
-        let words: Vec<u64> = (0..2 * m).map(|i| 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1)).collect();
+        let words: Vec<u64> = (0..2 * m)
+            .map(|i| 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1))
+            .collect();
         // 64 field multiplications per call.
         group.throughput(Throughput::Elements(64));
         group.bench_with_input(BenchmarkId::new("proposed_eval64", m), &m, |b, _| {

@@ -29,11 +29,9 @@ fn bench_table5(c: &mut Criterion) {
     let field8 = field_for(8, 2);
     for gen in table_v_generators() {
         let net = gen.generate(&field8);
-        group.bench_with_input(
-            BenchmarkId::new("m8", gen.name()),
-            &net,
-            |b, net| b.iter(|| std::hint::black_box(bench_flow().run(net))),
-        );
+        group.bench_with_input(BenchmarkId::new("m8", gen.name()), &net, |b, net| {
+            b.iter(|| std::hint::black_box(bench_flow().run(net)))
+        });
     }
     // One large-field datapoint (the proposed method).
     let field64 = field_for(64, 23);

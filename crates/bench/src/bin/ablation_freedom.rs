@@ -1,7 +1,7 @@
 //! Ablation: how much of the proposed method's advantage comes from
 //! *synthesiser freedom*?
 //!
-//! The paper's §IV argues that the parenthesised restrictions of [7]
+//! The paper's §IV argues that the parenthesised restrictions of \[7\]
 //! prevent the synthesis tool from mapping the XOR network well. We
 //! isolate that mechanism along two axes:
 //!
@@ -9,7 +9,7 @@
 //! * mapper mode Free / FanoutPreserving — may cones absorb (duplicate)
 //!   shared nodes?
 //!
-//! Run on (8,2) and (64,23) for both the parenthesised [7] netlists and
+//! Run on (8,2) and (64,23) for both the parenthesised \[7\] netlists and
 //! the flat proposed netlists.
 
 use rgf2m_bench::field_for;
@@ -27,8 +27,10 @@ fn main() {
             "  {:<12} {:<22} {:>6} {:>7} {:>6} {:>9}",
             "netlist", "flow", "LUTs", "Slices", "depth", "Time(ns)"
         );
-        for (label, method) in [("[7] paren", Method::Imana2016), ("flat (new)", Method::ProposedFlat)]
-        {
+        for (label, method) in [
+            ("[7] paren", Method::Imana2016),
+            ("flat (new)", Method::ProposedFlat),
+        ] {
             let net = generate(&field, method);
             for (flow_label, resynth, mode) in [
                 ("resynth+free", true, MapMode::Free),

@@ -34,7 +34,11 @@ fn main() {
             "method", "AND", "XOR", "delay", "max fanout"
         );
         for g in table_v_generators() {
-            stats_line(&format!("{} {}", g.citation(), g.name()), &field, g.as_ref());
+            stats_line(
+                &format!("{} {}", g.citation(), g.name()),
+                &field,
+                g.as_ref(),
+            );
         }
         stats_line("(reference) school", &field, &School);
         println!();

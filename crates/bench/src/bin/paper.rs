@@ -23,7 +23,10 @@ fn main() {
         match Command::new(&path).args(&args).status() {
             Ok(s) if s.success() => {}
             Ok(s) => eprintln!("{bin} exited with {s}"),
-            Err(e) => eprintln!("failed to run {}: {e} (build all bins first)", path.display()),
+            Err(e) => eprintln!(
+                "failed to run {}: {e} (build all bins first)",
+                path.display()
+            ),
         }
     }
 }

@@ -9,7 +9,7 @@
 //!
 //! For every field the measured block is printed next to the paper's
 //! published numbers, followed by shape checks (who wins A×T, proposed
-//! vs [7]).
+//! vs \[7\]).
 
 use rgf2m_bench::paper_data::PAPER_TABLE_V;
 use rgf2m_bench::{format_field_block, harness_flow, run_table_v_field, MeasuredRow};

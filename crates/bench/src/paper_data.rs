@@ -222,7 +222,10 @@ mod tests {
 
     #[test]
     fn fields_match_catalogue_order() {
-        for (block, &(m, n)) in PAPER_TABLE_V.iter().zip(&gf2poly::catalogue::TABLE_V_FIELDS) {
+        for (block, &(m, n)) in PAPER_TABLE_V
+            .iter()
+            .zip(&gf2poly::catalogue::TABLE_V_FIELDS)
+        {
             assert_eq!((block.m, block.n), (m, n));
         }
     }

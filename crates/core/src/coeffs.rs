@@ -253,11 +253,7 @@ mod tests {
             let row = table.row(k);
             let want_products: usize = {
                 let s_products = k + 1; // |d_k| for k < m
-                let t_products: usize = row
-                    .t_indices
-                    .iter()
-                    .map(|&i| 2 * 8 - 1 - (8 + i))
-                    .sum();
+                let t_products: usize = row.t_indices.iter().map(|&i| 2 * 8 - 1 - (8 + i)).sum();
                 s_products + t_products
             };
             let got: usize = flat.atoms(k).iter().map(SplitAtom::num_products).sum();

@@ -159,9 +159,6 @@ mod tests {
     fn interface_order_is_a_then_b() {
         let c = MulCircuit::new(3, "t");
         let net = c.finish();
-        assert_eq!(
-            net.input_names(),
-            &["a0", "a1", "a2", "b0", "b1", "b2"]
-        );
+        assert_eq!(net.input_names(), &["a0", "a1", "a2", "b0", "b1", "b2"]);
     }
 }

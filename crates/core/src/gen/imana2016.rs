@@ -75,7 +75,7 @@ mod tests {
         for (m, n) in [(8usize, 2usize), (16, 3), (64, 23), (113, 34)] {
             let field = Field::from_pentanomial(&TypeIiPentanomial::new(m, n).unwrap());
             let net = Imana2016.generate(&field);
-            let ceil_log2 = (usize::BITS - (m - 1).leading_zeros()) as u32;
+            let ceil_log2 = usize::BITS - (m - 1).leading_zeros();
             let bound = ceil_log2 + 3;
             assert!(
                 net.depth().xors <= bound,

@@ -303,8 +303,9 @@ mod tests {
                 let want = f.square(&ea);
                 let ins: Vec<bool> = (0..8).map(|i| ea.coeff(i)).collect();
                 let out = net.eval_bool(&ins);
-                for k in 0..8 {
-                    assert_eq!(out[k], want.coeff(k), "{strategy:?} a={a:#x} bit {k}");
+                assert_eq!(out.len(), 8);
+                for (k, &bit) in out.iter().enumerate() {
+                    assert_eq!(bit, want.coeff(k), "{strategy:?} a={a:#x} bit {k}");
                 }
             }
         }
@@ -321,8 +322,9 @@ mod tests {
                 let want = f.mul(&c, &ea);
                 let ins: Vec<bool> = (0..8).map(|i| ea.coeff(i)).collect();
                 let out = net.eval_bool(&ins);
-                for k in 0..8 {
-                    assert_eq!(out[k], want.coeff(k), "{strategy:?} a={a:#x} bit {k}");
+                assert_eq!(out.len(), 8);
+                for (k, &bit) in out.iter().enumerate() {
+                    assert_eq!(bit, want.coeff(k), "{strategy:?} a={a:#x} bit {k}");
                 }
             }
         }
@@ -374,8 +376,9 @@ mod tests {
             let want = f.square(&ea);
             let ins: Vec<bool> = (0..64).map(|i| ea.coeff(i)).collect();
             let out = net.eval_bool(&ins);
-            for k in 0..64 {
-                assert_eq!(out[k], want.coeff(k));
+            assert_eq!(out.len(), 64);
+            for (k, &bit) in out.iter().enumerate() {
+                assert_eq!(bit, want.coeff(k));
             }
         }
     }
@@ -390,11 +393,9 @@ mod tests {
     #[test]
     fn constant_zero_and_one() {
         let f = gf256();
-        let zero_mul =
-            generate_constant_multiplier(&f, &Gf2Poly::zero(), LinearStrategy::PaarCse);
+        let zero_mul = generate_constant_multiplier(&f, &Gf2Poly::zero(), LinearStrategy::PaarCse);
         assert_eq!(zero_mul.stats().xors, 0);
-        let one_mul =
-            generate_constant_multiplier(&f, &Gf2Poly::one(), LinearStrategy::PaarCse);
+        let one_mul = generate_constant_multiplier(&f, &Gf2Poly::one(), LinearStrategy::PaarCse);
         assert_eq!(one_mul.stats().xors, 0); // identity matrix: wires only
         let ins = [true, false, true, true, false, false, true, false];
         let out = one_mul.eval_bool(&ins);

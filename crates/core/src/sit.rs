@@ -108,7 +108,11 @@ impl SiTi {
     ///
     /// Panics unless `1 ≤ i ≤ m`.
     pub fn s(&self, i: usize) -> &[ProductTerm] {
-        assert!((1..=self.m).contains(&i), "S_{i} undefined for m={}", self.m);
+        assert!(
+            (1..=self.m).contains(&i),
+            "S_{i} undefined for m={}",
+            self.m
+        );
         &self.s[i - 1]
     }
 

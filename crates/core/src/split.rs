@@ -158,7 +158,7 @@ impl fmt::Display for SplitAtom {
 mod tests {
     use super::*;
 
-    fn atom<'a>(atoms: &'a [SplitAtom], kind: AtomKind, index: usize, level: usize) -> &'a SplitAtom {
+    fn atom(atoms: &[SplitAtom], kind: AtomKind, index: usize, level: usize) -> &SplitAtom {
         atoms
             .iter()
             .find(|a| a.kind() == kind && a.index() == index && a.level() == level)

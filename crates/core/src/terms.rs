@@ -151,10 +151,8 @@ mod tests {
     fn d_terms_cover_exactly_the_antidiagonal() {
         let m = 8;
         for k in 0..=2 * m - 2 {
-            let mut pairs: Vec<(usize, usize)> = d_terms(m, k)
-                .iter()
-                .flat_map(|t| t.products())
-                .collect();
+            let mut pairs: Vec<(usize, usize)> =
+                d_terms(m, k).iter().flat_map(|t| t.products()).collect();
             pairs.sort_unstable();
             let mut expect: Vec<(usize, usize)> = (0..m)
                 .flat_map(|i| (0..m).map(move |j| (i, j)))

@@ -41,11 +41,7 @@ pub struct LutNetlist {
 
 impl LutNetlist {
     /// Creates an empty LUT netlist (used by the mapper).
-    pub(crate) fn new(
-        name: String,
-        k: usize,
-        input_names: Vec<String>,
-    ) -> Self {
+    pub(crate) fn new(name: String, k: usize, input_names: Vec<String>) -> Self {
         LutNetlist {
             name,
             k,

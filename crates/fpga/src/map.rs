@@ -284,11 +284,7 @@ pub fn map_to_luts(net: &Netlist, opts: &MapOptions) -> LutNetlist {
     }
 
     // Phase 3: extraction + truth tables.
-    let mut out = LutNetlist::new(
-        net.name().to_string(),
-        opts.k,
-        net.input_names().to_vec(),
-    );
+    let mut out = LutNetlist::new(net.name().to_string(), opts.k, net.input_names().to_vec());
     let mut lut_of: HashMap<usize, u32> = HashMap::new();
     for idx in 0..n {
         let Some(cut_idx) = chosen[idx] else { continue };
@@ -334,11 +330,7 @@ fn cone_truth(net: &Netlist, root: usize, leaves: &[u32]) -> u64 {
     for (v, &leaf) in leaves.iter().enumerate() {
         memo.insert(leaf as usize, PATTERNS[v]);
     }
-    fn eval(
-        net: &Netlist,
-        idx: usize,
-        memo: &mut HashMap<usize, u64>,
-    ) -> u64 {
+    fn eval(net: &Netlist, idx: usize, memo: &mut HashMap<usize, u64>) -> u64 {
         if let Some(&w) = memo.get(&idx) {
             return w;
         }
@@ -346,12 +338,8 @@ fn cone_truth(net: &Netlist, root: usize, leaves: &[u32]) -> u64 {
             Gate::Const(false) => 0,
             Gate::Const(true) => u64::MAX,
             Gate::Input(_) => panic!("input reached below a cut leaf"),
-            Gate::And(a, b) => {
-                eval(net, a.index(), memo) & eval(net, b.index(), memo)
-            }
-            Gate::Xor(a, b) => {
-                eval(net, a.index(), memo) ^ eval(net, b.index(), memo)
-            }
+            Gate::And(a, b) => eval(net, a.index(), memo) & eval(net, b.index(), memo),
+            Gate::Xor(a, b) => eval(net, a.index(), memo) ^ eval(net, b.index(), memo),
         };
         memo.insert(idx, w);
         w
@@ -456,7 +444,9 @@ mod tests {
 
         let fp = map_to_luts(
             &net,
-            &MapOptions::new().with_k(3).with_mode(MapMode::FanoutPreserving),
+            &MapOptions::new()
+                .with_k(3)
+                .with_mode(MapMode::FanoutPreserving),
         );
         assert_eq!(fp.depth(), 2);
         assert_eq!(fp.num_luts(), 3);

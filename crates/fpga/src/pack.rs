@@ -68,10 +68,7 @@ pub fn pack_slices(lutnet: &LutNetlist, luts_per_slice: usize) -> Packing {
             if slices[*si].len() >= luts_per_slice {
                 continue;
             }
-            let score = my_signals
-                .iter()
-                .filter(|s| signals.contains(s))
-                .count();
+            let score = my_signals.iter().filter(|s| signals.contains(s)).count();
             if score > 0 && best.is_none_or(|(_, bs)| score > bs) {
                 best = Some((oi, score));
             }
@@ -180,7 +177,7 @@ mod tests {
     fn every_lut_is_assigned_exactly_once() {
         let net = chain(10);
         let p = pack_slices(&net, 4);
-        let mut seen = vec![false; 10];
+        let mut seen = [false; 10];
         for (si, luts) in p.slices().iter().enumerate() {
             for &l in luts {
                 assert!(!seen[l as usize], "LUT {l} packed twice");
@@ -206,11 +203,7 @@ mod tests {
         // LUTs with disjoint supports have no affinity — the greedy
         // phase opens a slice each, and the consolidation pass then
         // fills them into one full slice (like `map` under pressure).
-        let mut net = LutNetlist::new(
-            "d".into(),
-            6,
-            (0..8).map(|i| format!("x{i}")).collect(),
-        );
+        let mut net = LutNetlist::new("d".into(), 6, (0..8).map(|i| format!("x{i}")).collect());
         for i in 0..4 {
             let id = net.push_lut(Lut {
                 inputs: vec![Signal::Input(2 * i), Signal::Input(2 * i + 1)],
@@ -226,11 +219,7 @@ mod tests {
     #[test]
     fn consolidation_respects_capacity_and_assignment_consistency() {
         // 7 disconnected LUTs with capacity 4 → exactly 2 slices.
-        let mut net = LutNetlist::new(
-            "d7".into(),
-            6,
-            (0..14).map(|i| format!("x{i}")).collect(),
-        );
+        let mut net = LutNetlist::new("d7".into(), 6, (0..14).map(|i| format!("x{i}")).collect());
         for i in 0..7 {
             let id = net.push_lut(Lut {
                 inputs: vec![Signal::Input(2 * i), Signal::Input(2 * i + 1)],

@@ -86,7 +86,11 @@ pub struct Net {
 
 /// Extracts the placement netlist (one net per signal driver that has
 /// sinks) in slice coordinates.
-pub fn extract_nets(lutnet: &LutNetlist, packing: &Packing, placement_seeding: &Placement) -> Vec<Net> {
+pub fn extract_nets(
+    lutnet: &LutNetlist,
+    packing: &Packing,
+    placement_seeding: &Placement,
+) -> Vec<Net> {
     let _ = placement_seeding;
     build_nets(lutnet, packing)
 }
@@ -225,7 +229,9 @@ pub fn place(lutnet: &LutNetlist, packing: &Packing, opts: &PlaceOptions) -> Pla
         grid_h: h,
         pos,
         input_pos: (0..n_in).map(|i| input_pad_pos(i, n_in, (w, h))).collect(),
-        output_pos: (0..n_out).map(|o| output_pad_pos(o, n_out, (w, h))).collect(),
+        output_pos: (0..n_out)
+            .map(|o| output_pad_pos(o, n_out, (w, h)))
+            .collect(),
     };
     let nets = build_nets(lutnet, packing);
     if num_slices < 2 || nets.is_empty() {

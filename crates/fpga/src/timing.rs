@@ -41,22 +41,11 @@ pub fn analyze(
                 Signal::Const(_) => 0.0,
                 Signal::Input(i) => {
                     let src = placement.input_pos(*i);
-                    device.t_ibuf_ns
-                        + net_delay(
-                            device,
-                            input_fanouts[*i as usize],
-                            src,
-                            sink_pos,
-                        )
+                    device.t_ibuf_ns + net_delay(device, input_fanouts[*i as usize], src, sink_pos)
                 }
                 Signal::Lut(j) => {
                     arrival[*j as usize]
-                        + net_delay(
-                            device,
-                            fanouts[*j as usize],
-                            lut_pos(*j),
-                            sink_pos,
-                        )
+                        + net_delay(device, fanouts[*j as usize], lut_pos(*j), sink_pos)
                 }
             };
             worst = worst.max(t);
@@ -71,7 +60,12 @@ pub fn analyze(
             Signal::Const(_) => device.t_obuf_ns,
             Signal::Input(i) => {
                 device.t_ibuf_ns
-                    + net_delay(device, input_fanouts[*i as usize], placement.input_pos(*i), pad)
+                    + net_delay(
+                        device,
+                        input_fanouts[*i as usize],
+                        placement.input_pos(*i),
+                        pad,
+                    )
                     + device.t_obuf_ns
             }
             Signal::Lut(j) => {

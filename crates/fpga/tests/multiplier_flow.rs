@@ -24,7 +24,10 @@ fn gf256_multipliers_map_pack_place_and_time() {
             r.luts
         );
         assert!(r.slices <= r.luts);
-        assert!(r.slices >= r.luts.div_ceil(4), "{method:?} packing too dense");
+        assert!(
+            r.slices >= r.luts.div_ceil(4),
+            "{method:?} packing too dense"
+        );
         assert!(
             (2..=5).contains(&r.depth),
             "{method:?}: LUT depth {} out of envelope",

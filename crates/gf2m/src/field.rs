@@ -26,7 +26,7 @@ impl fmt::Display for FieldError {
 
 impl std::error::Error for FieldError {}
 
-/// A binary extension field GF(2^m) = GF(2)[y] / (f(y)).
+/// A binary extension field GF(2^m) = GF(2)\[y\] / (f(y)).
 ///
 /// Elements are represented in the canonical (polynomial) basis
 /// `{1, x, …, x^(m−1)}` as [`Gf2Poly`] values of degree < m. The field
@@ -56,7 +56,7 @@ pub struct Field {
 }
 
 impl Field {
-    /// Creates the field GF(2)[y]/(f) after checking that `f` is
+    /// Creates the field GF(2)\[y\]/(f) after checking that `f` is
     /// irreducible.
     ///
     /// # Errors
@@ -343,7 +343,12 @@ impl Field {
     ///
     /// Panics if `words.len() != 2m`.
     pub fn mul_words(&self, words: &[u64]) -> Vec<u64> {
-        assert_eq!(words.len(), 2 * self.m, "expected 2m = {} words", 2 * self.m);
+        assert_eq!(
+            words.len(),
+            2 * self.m,
+            "expected 2m = {} words",
+            2 * self.m
+        );
         let mut out = vec![0u64; self.m];
         for lane in 0..64 {
             let mut a = Gf2Poly::zero();

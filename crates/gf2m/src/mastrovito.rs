@@ -6,12 +6,12 @@ use crate::Field;
 
 /// The Mastrovito product matrix `M(a)` of a field, in *symbolic* form.
 ///
-/// Mastrovito's bit-parallel multiplier [1] combines polynomial
+/// Mastrovito's bit-parallel multiplier \[1\] combines polynomial
 /// multiplication and modular reduction into a single matrix-vector
 /// product `c = M(a) · b`, where entry `M[k][j]` is a GF(2)-sum of
 /// coordinates of `a`. This type stores, for every `(k, j)`, the *set of
 /// `a`-indices* whose XOR forms the entry — the information a circuit
-/// generator needs (baseline [2] in the paper builds exactly this
+/// generator needs (baseline \[2\] in the paper builds exactly this
 /// network).
 ///
 /// # Examples

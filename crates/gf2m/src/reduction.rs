@@ -145,21 +145,17 @@ mod tests {
     fn table_i_t_sets() {
         let r = gf256_matrix();
         let expected: [&[usize]; 8] = [
-            &[0, 4, 5, 6],    // c0
-            &[1, 5, 6],       // c1
-            &[0, 2, 4, 5],    // c2
-            &[0, 1, 3, 4],    // c3
-            &[0, 1, 2, 6],    // c4
-            &[1, 2, 3],       // c5
-            &[2, 3, 4],       // c6
-            &[3, 4, 5],       // c7
+            &[0, 4, 5, 6], // c0
+            &[1, 5, 6],    // c1
+            &[0, 2, 4, 5], // c2
+            &[0, 1, 3, 4], // c3
+            &[0, 1, 2, 6], // c4
+            &[1, 2, 3],    // c5
+            &[2, 3, 4],    // c6
+            &[3, 4, 5],    // c7
         ];
         for (k, want) in expected.iter().enumerate() {
-            assert_eq!(
-                r.t_terms_for_coefficient(k),
-                want.to_vec(),
-                "T-set of c{k}"
-            );
+            assert_eq!(r.t_terms_for_coefficient(k), want.to_vec(), "T-set of c{k}");
         }
     }
 

@@ -8,7 +8,7 @@ use crate::{is_irreducible, Gf2Poly};
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum PentanomialError {
     /// `n` is outside the structural range `2 ≤ n ≤ ⌊m/2⌋ − 1` required by
-    /// the paper's definition (type II pentanomials, [5]).
+    /// the paper's definition (type II pentanomials, \[5\]).
     ShapeOutOfRange {
         /// The requested extension degree.
         m: usize,
@@ -46,7 +46,7 @@ impl std::error::Error for PentanomialError {}
 /// A *type II irreducible pentanomial* `f(y) = y^m + y^(n+2) + y^(n+1) + y^n + 1`.
 ///
 /// These are the defining polynomials the paper builds multipliers for
-/// (following Rodríguez-Henríquez & Koç [5]): three consecutive middle
+/// (following Rodríguez-Henríquez & Koç \[5\]): three consecutive middle
 /// terms starting at `y^n`, with `2 ≤ n ≤ ⌊m/2⌋ − 1`. They are abundant,
 /// and every NIST-recommended ECDSA binary field degree (163, 233, 283,
 /// 409, 571) admits one.
@@ -235,9 +235,7 @@ mod tests {
     fn find_all_matches_brute_force_for_small_m() {
         for m in 6..=32usize {
             let brute: Vec<usize> = (2..=m / 2 - 1)
-                .filter(|&n| {
-                    is_irreducible(&Gf2Poly::from_exponents(&[m, n + 2, n + 1, n, 0]))
-                })
+                .filter(|&n| is_irreducible(&Gf2Poly::from_exponents(&[m, n + 2, n + 1, n, 0])))
                 .collect();
             let found: Vec<usize> = TypeIiPentanomial::find_all(m)
                 .iter()

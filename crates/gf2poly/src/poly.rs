@@ -121,7 +121,10 @@ impl Gf2Poly {
     /// assert!(Gf2Poly::from_hex("xyz").is_err());
     /// ```
     pub fn from_hex(s: &str) -> Result<Self, char> {
-        let s = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")).unwrap_or(s);
+        let s = s
+            .strip_prefix("0x")
+            .or_else(|| s.strip_prefix("0X"))
+            .unwrap_or(s);
         let mut p = Gf2Poly::zero();
         let digits: Vec<char> = s.chars().collect();
         for (pos, &c) in digits.iter().rev().enumerate() {
@@ -731,7 +734,10 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        assert_eq!(poly(&[8, 4, 3, 2, 0]).to_string(), "y^8 + y^4 + y^3 + y^2 + 1");
+        assert_eq!(
+            poly(&[8, 4, 3, 2, 0]).to_string(),
+            "y^8 + y^4 + y^3 + y^2 + 1"
+        );
         assert_eq!(poly(&[1]).to_string(), "y");
         assert_eq!(Gf2Poly::zero().to_string(), "0");
         assert_eq!(format!("{:b}", poly(&[4, 0])), "10001");

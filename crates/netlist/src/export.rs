@@ -157,7 +157,12 @@ impl Netlist {
             }
         }
         for (oname, n) in self.outputs() {
-            let _ = writeln!(s, "  assign {} = {};", ident(oname), self.operand_verilog(*n));
+            let _ = writeln!(
+                s,
+                "  assign {} = {};",
+                ident(oname),
+                self.operand_verilog(*n)
+            );
         }
         let _ = writeln!(s, "endmodule");
         s

@@ -180,7 +180,7 @@ impl Netlist {
 
     /// XORs a set of nodes pairing *shallowest first* (Huffman on depth),
     /// which minimizes the resulting XOR depth for operands of unequal
-    /// depth. This models the paper's same-level pairing discipline [7].
+    /// depth. This models the paper's same-level pairing discipline \[7\].
     pub fn xor_depth_aware(&mut self, nodes: &[NodeId]) -> NodeId {
         if nodes.is_empty() {
             return self.constant(false);

@@ -283,7 +283,11 @@ mod tests {
         right.output("y", x2);
 
         match check_equivalent_exhaustive(&left, &right) {
-            Equivalence::Counterexample { inputs, left, right } => {
+            Equivalence::Counterexample {
+                inputs,
+                left,
+                right,
+            } => {
                 let (a, b) = (inputs[0], inputs[1]);
                 assert_eq!(left[0], a ^ b);
                 assert_eq!(right[0], a & b);

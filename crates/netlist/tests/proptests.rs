@@ -13,7 +13,10 @@ struct Recipe {
 }
 
 fn arb_recipe() -> impl Strategy<Value = Recipe> {
-    (2usize..=6, proptest::collection::vec((any::<bool>(), 0usize..64, 0usize..64), 1..40))
+    (
+        2usize..=6,
+        proptest::collection::vec((any::<bool>(), 0usize..64, 0usize..64), 1..40),
+    )
         .prop_map(|(inputs, steps)| Recipe { inputs, steps })
 }
 

@@ -11,7 +11,10 @@ use rgf2m::prelude::*;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. The curve layer: NIST B-163 over the FIPS 186-4 modulus.
     let curve = BinaryCurve::nist_b163();
-    println!("NIST B-163 over GF(2^163), f(y) = {}", curve.field().modulus());
+    println!(
+        "NIST B-163 over GF(2^163), f(y) = {}",
+        curve.field().modulus()
+    );
     let g = curve.base_point();
     println!("base point on curve: {}", curve.is_on_curve(&g));
 
@@ -54,11 +57,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let x2 = field.square(gx);
         let rhs = {
             let binv = field.inverse(&x2).expect("x != 0");
-            let b = field
-                .mul(&rgf2m::gf2poly::Gf2Poly::from_hex(
-                    "20a601907b8c953ca1481eb10512f78744a3205fd",
-                )
-                .expect("valid"), &binv);
+            let b = field.mul(
+                &rgf2m::gf2poly::Gf2Poly::from_hex("20a601907b8c953ca1481eb10512f78744a3205fd")
+                    .expect("valid"),
+                &binv,
+            );
             let mut t = field.add(gx, &rgf2m::gf2poly::Gf2Poly::one()); // + a (=1)
             t = field.add(&t, &b);
             t

@@ -15,7 +15,10 @@ fn main() {
 
     println!("type II irreducible pentanomials y^m + y^(n+2) + y^(n+1) + y^n + 1");
     println!();
-    println!("{:>5} {:>10} {:>14}  first few n", "m", "#shapes", "#irreducible");
+    println!(
+        "{:>5} {:>10} {:>14}  first few n",
+        "m", "#shapes", "#irreducible"
+    );
     let mut total_shapes = 0usize;
     let mut total_irreducible = 0usize;
     let mut degrees_with_none = Vec::new();
@@ -41,7 +44,11 @@ fn main() {
         "degrees with none: {} of 158 ({:?}{})",
         degrees_with_none.len(),
         &degrees_with_none[..degrees_with_none.len().min(12)],
-        if degrees_with_none.len() > 12 { ", …" } else { "" }
+        if degrees_with_none.len() > 12 {
+            ", …"
+        } else {
+            ""
+        }
     );
 
     println!();

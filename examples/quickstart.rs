@@ -43,7 +43,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let net = generate(&field, Method::ProposedFlat);
     let oracle = |w: &[u64]| field.mul_words(w);
     let check = netlist::sim::check_against_oracle_exhaustive(&net, oracle);
-    println!("\nexhaustive verification: {}", if check.is_equivalent() { "PASS (65536/65536)" } else { "FAIL" });
+    println!(
+        "\nexhaustive verification: {}",
+        if check.is_equivalent() {
+            "PASS (65536/65536)"
+        } else {
+            "FAIL"
+        }
+    );
 
     let report = FpgaFlow::new().run(&net);
     println!("FPGA flow: {report}");
@@ -51,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 6. Export as VHDL (the paper's design entry language).
     let vhdl = net.to_vhdl();
-    println!("\nVHDL export: {} lines (showing the first 8)", vhdl.lines().count());
+    println!(
+        "\nVHDL export: {} lines (showing the first 8)",
+        vhdl.lines().count()
+    );
     for line in vhdl.lines().take(8) {
         println!("  {line}");
     }

@@ -31,11 +31,7 @@ fn main() {
     for (k, pos) in [200usize, 3, 77, 129, 254, 17].iter().enumerate() {
         noisy[*pos] ^= (k as u8 + 1) * 17;
     }
-    let wrong = noisy
-        .iter()
-        .zip(&clean)
-        .filter(|(a, b)| a != b)
-        .count();
+    let wrong = noisy.iter().zip(&clean).filter(|(a, b)| a != b).count();
     println!("channel: corrupted {wrong} symbols (burst of 10 + 6 scattered)");
 
     let syndromes = rs.syndromes(&noisy);
@@ -57,7 +53,9 @@ fn main() {
     }
     match rs.decode(&hopeless) {
         None => println!("decode with 17 errors: correctly rejected"),
-        Some(f) if f != clean => println!("decode with 17 errors: miscorrected (possible beyond t)"),
+        Some(f) if f != clean => {
+            println!("decode with 17 errors: miscorrected (possible beyond t)")
+        }
         Some(_) => println!("decode with 17 errors: recovered (lucky pattern)"),
     }
 }

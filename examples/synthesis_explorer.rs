@@ -17,7 +17,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .filter_map(|a| a.parse().ok())
         .collect();
     let fields: Vec<(usize, usize)> = if args.len() >= 2 {
-        args.chunks(2).filter(|c| c.len() == 2).map(|c| (c[0], c[1])).collect()
+        args.chunks(2)
+            .filter(|c| c.len() == 2)
+            .map(|c| (c[0], c[1]))
+            .collect()
     } else {
         vec![(8, 2), (64, 23)]
     };
@@ -75,7 +78,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     fs::write(dir.join("mul_proposed_m8.v"), net.to_verilog())?;
     fs::write(dir.join("mul_proposed_m8.dot"), net.to_dot())?;
     fs::write(dir.join("mul_proposed_m8.blif"), net.to_blif())?;
-    println!("\nexported the proposed GF(2^8) multiplier to {}", dir.display());
+    println!(
+        "\nexported the proposed GF(2^8) multiplier to {}",
+        dir.display()
+    );
     println!("  (VHDL, Verilog, DOT, BLIF — ready for an external flow)");
     Ok(())
 }

@@ -1,0 +1,287 @@
+//! Offline shim for the subset of the `criterion` API this workspace uses.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace-local crate stands in for the real `criterion`. It keeps the
+//! same bench-authoring surface — [`Criterion`], [`BenchmarkGroup`],
+//! [`BenchmarkId`], [`Throughput`], [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — but replaces the
+//! statistical engine with a simple wall-clock sampler: each benchmark
+//! runs a short warm-up, then a fixed batch of timed iterations, and
+//! prints the mean time per iteration. That is enough for the `--bench`
+//! targets to build, run, and give coarse numbers offline; it makes no
+//! attempt at criterion's outlier analysis or HTML reports.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Units for reporting benchmark throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier composed of a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `function_name/parameter`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id with only a parameter component.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Drives the timed iterations of one benchmark.
+pub struct Bencher<'a> {
+    config: &'a SamplingConfig,
+    /// Filled in by [`Bencher::iter`]: (iterations, elapsed).
+    result: Option<(u64, Duration)>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, running it for roughly the configured budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget is spent (at least once).
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.config.warm_up_time || warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        // Estimate how many iterations fit the measurement budget.
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let budget = self.config.measurement_time.as_secs_f64();
+        let planned =
+            ((budget / per_iter.max(1e-9)) as u64).clamp(1, self.config.sample_size as u64 * 1_000);
+        let start = Instant::now();
+        for _ in 0..planned {
+            black_box(routine());
+        }
+        self.result = Some((planned, start.elapsed()));
+    }
+}
+
+/// Per-group sampling knobs (a pale imitation of criterion's).
+#[derive(Debug, Clone)]
+struct SamplingConfig {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for SamplingConfig {
+    fn default() -> Self {
+        SamplingConfig {
+            sample_size: 100,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(400),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: SamplingConfig,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of samples (advisory in this shim).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up budget.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Records the work done per iteration for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.throughput, &self.config, &mut f);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.throughput, &self.config, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (a no-op beyond matching criterion's API).
+    pub fn finish(self) {}
+}
+
+fn run_one(
+    label: &str,
+    throughput: Option<Throughput>,
+    config: &SamplingConfig,
+    f: &mut dyn FnMut(&mut Bencher<'_>),
+) {
+    let mut bencher = Bencher {
+        config,
+        result: None,
+    };
+    f(&mut bencher);
+    match bencher.result {
+        Some((iters, elapsed)) => {
+            let per_iter = elapsed.as_secs_f64() / iters as f64;
+            let rate = match throughput {
+                Some(Throughput::Elements(n)) => {
+                    format!("  ({:.3e} elem/s)", n as f64 / per_iter)
+                }
+                Some(Throughput::Bytes(n)) => {
+                    format!("  ({:.3e} B/s)", n as f64 / per_iter)
+                }
+                None => String::new(),
+            };
+            println!(
+                "bench: {label:<48} {:>12.3} ns/iter  ({iters} iters){rate}",
+                per_iter * 1e9
+            );
+        }
+        None => println!("bench: {label:<48} (no measurement: iter() never called)"),
+    }
+}
+
+/// The top-level benchmark driver (shim of `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named [`BenchmarkGroup`].
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            config: SamplingConfig::default(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let label = id.to_string();
+        run_one(&label, None, &SamplingConfig::default(), &mut f);
+        self
+    }
+}
+
+/// Bundles benchmark functions into a single runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+///
+/// Recognises (and ignores the value of) the `--bench`/`--test` flags
+/// cargo passes, so the target behaves under both `cargo bench` and
+/// `cargo test --benches`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Under `cargo test --benches` cargo runs the target with
+            // `--test`; a smoke pass of every benchmark is still the
+            // most faithful cheap behaviour, so run them regardless.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_smoke");
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        group.throughput(Throughput::Elements(4));
+        let mut ran = 0u32;
+        group.bench_function("trivial", |b| {
+            ran += 1;
+            b.iter(|| black_box(1u64 + 1))
+        });
+        group.bench_with_input(BenchmarkId::new("with_input", 8), &8usize, |b, n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.finish();
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter("p").to_string(), "p");
+    }
+}

@@ -55,16 +55,12 @@ impl BinaryCurve {
     /// The NIST B-163 curve (FIPS 186-4) over the standard modulus
     /// `y^163 + y^7 + y^6 + y^3 + 1`.
     pub fn nist_b163() -> Self {
-        let modulus = gf2poly::catalogue::nist_standard_modulus(163)
-            .expect("163 is a NIST degree");
+        let modulus = gf2poly::catalogue::nist_standard_modulus(163).expect("163 is a NIST degree");
         let field = Field::new(modulus).expect("NIST modulus is irreducible");
         let a = Gf2Poly::one();
-        let b = Gf2Poly::from_hex("20a601907b8c953ca1481eb10512f78744a3205fd")
-            .expect("valid hex");
-        let gx = Gf2Poly::from_hex("3f0eba16286a2d57ea0991168d4994637e8343e36")
-            .expect("valid hex");
-        let gy = Gf2Poly::from_hex("0d51fbc6c71a0094fa2cdd545b11c5c0c797324f1")
-            .expect("valid hex");
+        let b = Gf2Poly::from_hex("20a601907b8c953ca1481eb10512f78744a3205fd").expect("valid hex");
+        let gx = Gf2Poly::from_hex("3f0eba16286a2d57ea0991168d4994637e8343e36").expect("valid hex");
+        let gy = Gf2Poly::from_hex("0d51fbc6c71a0094fa2cdd545b11c5c0c797324f1").expect("valid hex");
         BinaryCurve {
             field,
             a,
@@ -115,10 +111,7 @@ impl BinaryCurve {
                 let f = &self.field;
                 let lhs = f.add(&f.square(y), &f.mul(x, y));
                 let x2 = f.square(x);
-                let rhs = f.add(
-                    &f.add(&f.mul(&x2, x), &f.mul(&self.a, &x2)),
-                    &self.b,
-                );
+                let rhs = f.add(&f.add(&f.mul(&x2, x), &f.mul(&self.a, &x2)), &self.b);
                 lhs == rhs
             }
         }

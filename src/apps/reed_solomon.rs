@@ -144,8 +144,7 @@ impl ReedSolomon {
             let feedback = d ^ rem[self.parity - 1];
             // Shift left by one, adding feedback · g.
             for j in (1..self.parity).rev() {
-                rem[j] = rem[j - 1]
-                    ^ self.mul(feedback, self.generator[j]);
+                rem[j] = rem[j - 1] ^ self.mul(feedback, self.generator[j]);
             }
             rem[0] = self.mul(feedback, self.generator[0]);
         }

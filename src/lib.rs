@@ -73,8 +73,8 @@ pub mod prelude {
     pub use netlist::{Gate, Netlist, NodeId};
     pub use rgf2m_baselines::{MastrovitoPaar, Rashidi, ReyhaniHasan, School};
     pub use rgf2m_core::{
-        generate, AtomKind, CoefficientTable, FlatCoefficientTable, Method,
-        MultiplierGenerator, ProductTerm, SiTi, SplitAtom,
+        generate, AtomKind, CoefficientTable, FlatCoefficientTable, Method, MultiplierGenerator,
+        ProductTerm, SiTi, SplitAtom,
     };
     pub use rgf2m_fpga::{FpgaFlow, ImplReport, MapMode, MapOptions};
 }

@@ -1,0 +1,88 @@
+//! Workspace-surface smoke test: every item the `rgf2m::prelude` promises
+//! must stay importable by its documented name, and the crate-level
+//! re-export aliases (`rgf2m::core`, `rgf2m::baselines`, ...) must keep
+//! resolving. A rename anywhere in the workspace breaks this file at
+//! compile time, before any behavioural test runs.
+
+// Each item imported explicitly — a glob would hide removals.
+use rgf2m::prelude::{
+    generate, is_irreducible, AtomKind, CoefficientTable, Field, FieldError, FlatCoefficientTable,
+    Gate, Gf2Poly, ImplReport, MapMode, MapOptions, MastrovitoMatrix, MastrovitoPaar, Method,
+    MultiplierGenerator, Netlist, NodeId, PentanomialError, ProductTerm, Rashidi, ReductionMatrix,
+    ReyhaniHasan, School, SiTi, SplitAtom, TypeIiPentanomial,
+};
+
+/// The facade's module aliases must also stay stable.
+#[allow(unused_imports)]
+mod facade_aliases {
+    pub use rgf2m::apps;
+    pub use rgf2m::baselines;
+    pub use rgf2m::core;
+    pub use rgf2m::fpga;
+    pub use rgf2m::gf2m;
+    pub use rgf2m::gf2poly;
+    pub use rgf2m::netlist;
+}
+
+fn type_exists<T: ?Sized>() {}
+
+#[test]
+fn every_prelude_type_is_nameable() {
+    type_exists::<Field>();
+    type_exists::<FieldError>();
+    type_exists::<MastrovitoMatrix>();
+    type_exists::<ReductionMatrix>();
+    type_exists::<Gf2Poly>();
+    type_exists::<PentanomialError>();
+    type_exists::<TypeIiPentanomial>();
+    type_exists::<Gate>();
+    type_exists::<Netlist>();
+    type_exists::<NodeId>();
+    type_exists::<MastrovitoPaar>();
+    type_exists::<Rashidi>();
+    type_exists::<ReyhaniHasan>();
+    type_exists::<School>();
+    type_exists::<AtomKind>();
+    type_exists::<CoefficientTable>();
+    type_exists::<FlatCoefficientTable>();
+    type_exists::<Method>();
+    type_exists::<ProductTerm>();
+    type_exists::<SiTi>();
+    type_exists::<SplitAtom>();
+    type_exists::<FpgaFlowAlias>();
+    type_exists::<ImplReport>();
+    type_exists::<MapMode>();
+    type_exists::<MapOptions>();
+}
+
+// `FpgaFlow` doubles as a value below; keep a type-position alias so the
+// list above stays exhaustive.
+use rgf2m::prelude::FpgaFlow as FpgaFlowAlias;
+use rgf2m::prelude::FpgaFlow;
+
+/// The generator trait must be usable as a bound.
+fn assert_generator_bound<G: MultiplierGenerator>() {}
+
+#[test]
+fn trait_items_are_usable_as_bounds() {
+    assert_generator_bound::<MastrovitoPaar>();
+    assert_generator_bound::<School>();
+}
+
+#[test]
+fn prelude_functions_run_end_to_end() {
+    // `is_irreducible` on the AES modulus.
+    let f = Gf2Poly::from_exponents(&[8, 4, 3, 2, 0]);
+    assert!(is_irreducible(&f));
+
+    // `Field::from_pentanomial` + `generate` + the FPGA flow: the same
+    // pipeline the quickstart documents, in miniature.
+    let penta = TypeIiPentanomial::new(8, 2).expect("paper field exists");
+    let field = Field::from_pentanomial(&penta);
+    let net = generate(&field, Method::ProposedFlat);
+    assert_eq!(net.num_inputs(), 16);
+
+    let report = FpgaFlow::new().run(&net);
+    assert!(report.luts > 0);
+    assert!(report.time_ns > 0.0);
+}

@@ -128,8 +128,9 @@ proptest! {
             .chain((0..m).map(|i| b.coeff(i)))
             .collect();
         let ab_hw = net.eval_bool(&inputs);
-        for k in 0..m {
-            prop_assert_eq!(ab_hw[k], ab_sw.coeff(k));
+        prop_assert_eq!(ab_hw.len(), m);
+        for (k, &bit) in ab_hw.iter().enumerate() {
+            prop_assert_eq!(bit, ab_sw.coeff(k));
         }
     }
 }
