@@ -17,6 +17,7 @@ fn bench_flow() -> FpgaFlow {
         seed: 2018,
         moves_factor: 2,
         max_total_moves: 40_000,
+        threads: 1,
     })
 }
 

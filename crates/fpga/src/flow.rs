@@ -141,6 +141,14 @@ impl FpgaFlow {
         self
     }
 
+    /// Sets the number of annealing worker threads for placement
+    /// (`1` = sequential; see [`PlaceOptions::threads`]). Results stay
+    /// deterministic for a fixed seed and thread count.
+    pub fn with_place_threads(mut self, threads: usize) -> Self {
+        self.place_options.threads = threads;
+        self
+    }
+
     /// Sets the number of 64-lane random verification rounds after
     /// mapping (0 disables re-verification).
     pub fn with_verify_rounds(mut self, rounds: usize) -> Self {

@@ -59,3 +59,4 @@ pub use device::Device;
 pub use flow::{FpgaFlow, ImplReport};
 pub use lut::LutNetlist;
 pub use map::{MapMode, MapOptions};
+pub use place::{PlaceOptions, PlaceStats};

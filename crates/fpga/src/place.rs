@@ -1,10 +1,34 @@
 //! Deterministic simulated-annealing placement on a slice grid.
+//!
+//! The annealer refines a snake-order initial placement by proposing
+//! swaps of two grid cells and accepting them under the usual Metropolis
+//! criterion. Three properties matter to the rest of the workspace:
+//!
+//! * **Exact budgets** — [`PlaceOptions::max_total_moves`] is an exact
+//!   cap on evaluated proposals (including the initial-temperature
+//!   probe); whenever the budget rather than the cooling floor ends the
+//!   anneal, exactly that many real proposals have been evaluated.
+//! * **Determinism** — results depend only on the netlist, the seed and
+//!   the thread count, never on scheduling. The parallel mode shards each
+//!   temperature step's move batch across disjoint horizontal bands of
+//!   the grid, each worker seeded from [`PlaceOptions::seed`], the step
+//!   index and its shard index, with a merge barrier per step.
+//! * **Incremental cost** — per-net bounding boxes are cached, so a
+//!   proposal only recomputes nets whose box can actually change (a pin
+//!   leaving the interior of its net's box cannot change its HPWL).
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::lut::{LutNetlist, Signal};
 use crate::pack::Packing;
+
+/// Cooling floor: annealing stops once the temperature drops below this.
+const T_MIN: f64 = 0.01;
+/// Geometric cooling factor applied after every temperature step.
+const COOLING: f64 = 0.85;
+/// Proposals sampled (and charged) to pick the initial temperature.
+const PROBE_PROPOSALS: usize = 64;
 
 /// A placed design: grid dimensions, one grid cell per slice, and fixed
 /// virtual pad positions for the primary inputs/outputs.
@@ -52,26 +76,7 @@ impl Placement {
     }
 
     fn net_hpwl(&self, net: &Net) -> f64 {
-        let mut min_x = f32::INFINITY;
-        let mut max_x = f32::NEG_INFINITY;
-        let mut min_y = f32::INFINITY;
-        let mut max_y = f32::NEG_INFINITY;
-        let mut upd = |(x, y): (f32, f32)| {
-            min_x = min_x.min(x);
-            max_x = max_x.max(x);
-            min_y = min_y.min(y);
-            max_y = max_y.max(y);
-        };
-        for &s in &net.slices {
-            upd(self.pos[s as usize]);
-        }
-        for &p in &net.pads {
-            upd(p);
-        }
-        if min_x > max_x {
-            return 0.0;
-        }
-        ((max_x - min_x) + (max_y - min_y)) as f64
+        NetBox::compute(net, &self.pos).hpwl()
     }
 }
 
@@ -187,12 +192,21 @@ fn output_pad_pos(o: usize, n: usize, (w, h): (usize, usize)) -> (f32, f32) {
 /// Options for the annealer.
 #[derive(Debug, Clone)]
 pub struct PlaceOptions {
-    /// RNG seed (placement is fully deterministic for a given seed).
+    /// RNG seed (placement is fully deterministic for a given seed and
+    /// thread count).
     pub seed: u64,
     /// Moves per temperature step ≈ `moves_factor × num_slices`.
     pub moves_factor: usize,
-    /// Upper bound on total proposed moves (keeps big designs bounded).
+    /// Exact cap on evaluated swap proposals, including the
+    /// initial-temperature probe. Whenever this budget (rather than the
+    /// cooling floor) ends the anneal, exactly this many real proposals
+    /// have been evaluated.
     pub max_total_moves: usize,
+    /// Annealing worker threads. `1` (and `0`) run the sequential
+    /// annealer; `n > 1` shards each temperature step across up to `n`
+    /// disjoint horizontal grid bands, deterministically for a fixed
+    /// seed and thread count.
+    pub threads: usize,
 }
 
 impl Default for PlaceOptions {
@@ -201,15 +215,59 @@ impl Default for PlaceOptions {
             seed: 2018,
             moves_factor: 8,
             max_total_moves: 1_200_000,
+            threads: 1,
         }
     }
+}
+
+/// One temperature step of the annealing trajectory.
+#[derive(Debug, Clone)]
+pub struct TempStep {
+    /// Temperature during the step.
+    pub temperature: f64,
+    /// Total HPWL after the step's accepted moves were applied.
+    pub hpwl: f64,
+    /// Real proposals evaluated in the step.
+    pub proposed: usize,
+    /// Proposals accepted (and applied).
+    pub accepted: usize,
+}
+
+/// Counters and the cooling trajectory of one [`place_with_stats`] run.
+#[derive(Debug, Clone)]
+pub struct PlaceStats {
+    /// Real proposals evaluated, including the initial-temperature
+    /// probe. Never exceeds [`PlaceOptions::max_total_moves`], and equals
+    /// it exactly whenever the budget (not the cooling floor) ended the
+    /// anneal.
+    pub proposals: usize,
+    /// Proposals accepted and applied.
+    pub accepted: usize,
+    /// Total HPWL of the initial snake placement.
+    pub initial_hpwl: f64,
+    /// Total HPWL of the returned placement.
+    pub final_hpwl: f64,
+    /// One entry per temperature step (empty if the budget ran out
+    /// during the probe).
+    pub trajectory: Vec<TempStep>,
 }
 
 /// Places the packed design: snake-order initial placement refined by
 /// simulated annealing on total HPWL.
 ///
-/// Deterministic for a fixed seed; returns the final [`Placement`].
+/// Deterministic for a fixed seed and thread count; returns the final
+/// [`Placement`].
 pub fn place(lutnet: &LutNetlist, packing: &Packing, opts: &PlaceOptions) -> Placement {
+    place_with_stats(lutnet, packing, opts).0
+}
+
+/// Like [`place`], additionally returning proposal/acceptance counters
+/// and the per-temperature-step HPWL trajectory.
+pub fn place_with_stats(
+    lutnet: &LutNetlist,
+    packing: &Packing,
+    opts: &PlaceOptions,
+) -> (Placement, PlaceStats) {
     let num_slices = packing.num_slices();
     let (w, h) = grid_size(num_slices);
     // Initial snake placement in slice id order (ids are topological-ish
@@ -218,7 +276,11 @@ pub fn place(lutnet: &LutNetlist, packing: &Packing, opts: &PlaceOptions) -> Pla
     let mut pos: Vec<(f32, f32)> = vec![(0.0, 0.0); num_slices];
     for (s, p) in pos.iter_mut().enumerate() {
         let row = s / w;
-        let col = if row % 2 == 0 { s % w } else { w - 1 - (s % w) };
+        let col = if row.is_multiple_of(2) {
+            s % w
+        } else {
+            w - 1 - (s % w)
+        };
         cells[row * w + col] = Some(s as u32);
         *p = (col as f32, row as f32);
     }
@@ -234,8 +296,18 @@ pub fn place(lutnet: &LutNetlist, packing: &Packing, opts: &PlaceOptions) -> Pla
             .collect(),
     };
     let nets = build_nets(lutnet, packing);
+    let mut stats = PlaceStats {
+        proposals: 0,
+        accepted: 0,
+        initial_hpwl: 0.0,
+        final_hpwl: 0.0,
+        trajectory: Vec::new(),
+    };
     if num_slices < 2 || nets.is_empty() {
-        return placement;
+        let hp = placement.total_hpwl(&nets);
+        stats.initial_hpwl = hp;
+        stats.final_hpwl = hp;
+        return (placement, stats);
     }
     // Slice → incident net indices.
     let mut incident: Vec<Vec<u32>> = vec![Vec::new(); num_slices];
@@ -245,113 +317,430 @@ pub fn place(lutnet: &LutNetlist, packing: &Packing, opts: &PlaceOptions) -> Pla
         }
     }
 
-    let mut rng = StdRng::seed_from_u64(opts.seed);
-    let moves_per_temp = (opts.moves_factor * num_slices).max(64);
-    let total_budget = opts.max_total_moves;
+    let mut ann = Annealer::new(
+        &nets,
+        &incident,
+        w,
+        std::mem::take(&mut placement.pos),
+        cells,
+    );
+    stats.initial_hpwl = ann.total_hpwl();
+
+    let budget = opts.max_total_moves;
     let mut spent = 0usize;
+    let n_cells = w * h;
+    let mut rng = StdRng::seed_from_u64(opts.seed);
 
-    // Initial temperature from sampled move deltas.
-    let mut t = {
+    // Initial temperature from sampled (and charged) probe proposals.
+    let probe = PROBE_PROPOSALS.min(budget);
+    let mut t = if probe == 0 {
+        0.0
+    } else {
         let mut acc = 0.0;
-        let samples = 64;
-        for _ in 0..samples {
-            let (ca, cb) = (rng.gen_range(0..w * h), rng.gen_range(0..w * h));
-            let d = swap_delta(&mut placement, &cells, &nets, &incident, ca, cb, w);
-            acc += d.abs();
+        for _ in 0..probe {
+            let (ca, cb) = draw_pair(&mut rng, n_cells);
+            acc += ann.propose(ca, cb).abs();
         }
-        (acc / samples as f64).max(0.5) * 2.0
+        spent += probe;
+        (acc / probe as f64).max(0.5) * 2.0
     };
 
-    while t > 0.01 && spent < total_budget {
-        for _ in 0..moves_per_temp {
-            spent += 1;
-            if spent >= total_budget {
-                break;
+    let moves_per_temp = (opts.moves_factor * num_slices).max(64);
+    let shards = effective_shards(opts.threads, w, h);
+    if shards <= 1 {
+        // Sequential annealer (the `threads = 1` reference path).
+        while t > T_MIN && spent < budget {
+            let alloc = moves_per_temp.min(budget - spent);
+            let mut accepted = 0usize;
+            for _ in 0..alloc {
+                let (ca, cb) = draw_pair(&mut rng, n_cells);
+                let delta = ann.propose(ca, cb);
+                if delta < 0.0 || rng.gen::<f64>() < (-delta / t).exp() {
+                    ann.accept(ca, cb);
+                    accepted += 1;
+                }
             }
-            let ca = rng.gen_range(0..w * h);
-            let cb = rng.gen_range(0..w * h);
-            if ca == cb {
-                continue;
-            }
-            let delta = swap_delta(&mut placement, &cells, &nets, &incident, ca, cb, w);
-            let accept = delta < 0.0 || rng.gen::<f64>() < (-delta / t).exp();
-            if accept {
-                apply_swap(&mut placement, &mut cells, ca, cb, w);
-            }
+            spent += alloc;
+            stats.accepted += accepted;
+            stats.trajectory.push(TempStep {
+                temperature: t,
+                hpwl: ann.total_hpwl(),
+                proposed: alloc,
+                accepted,
+            });
+            t *= COOLING;
         }
-        t *= 0.85;
+    } else {
+        // Parallel annealer: shard each step over disjoint row bands.
+        let bands = band_ranges(h, shards);
+        let mut step: u64 = 0;
+        while t > T_MIN && spent < budget {
+            let alloc = moves_per_temp.min(budget - spent);
+            let results: Vec<ShardResult> = std::thread::scope(|scope| {
+                let handles: Vec<_> = bands
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &(r0, r1))| {
+                        let n_moves = alloc / shards + usize::from(k < alloc % shards);
+                        let worker = ann.fork();
+                        let rng = StdRng::seed_from_u64(shard_seed(opts.seed, step, k as u64));
+                        scope.spawn(move || anneal_shard(worker, r0 * w..r1 * w, t, rng, n_moves))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|hd| hd.join().expect("annealing worker panicked"))
+                    .collect()
+            });
+            // Merge: band cells and positions first (boxes span bands,
+            // so they can only be recomputed once every pin has landed),
+            // then refresh exactly the nets some shard's accepted moves
+            // dirtied — every other cached box is still exact.
+            let mut accepted = 0usize;
+            let mut dirty_all: Vec<u32> = Vec::new();
+            for (&(r0, _), res) in bands.iter().zip(results) {
+                let off = r0 * w;
+                ann.cells[off..off + res.cells.len()].copy_from_slice(&res.cells);
+                for (s, p) in res.moved {
+                    ann.pos[s as usize] = p;
+                }
+                dirty_all.extend(res.dirty);
+                accepted += res.accepted;
+            }
+            for &ni in &dirty_all {
+                ann.boxes[ni as usize] = NetBox::compute(&ann.nets[ni as usize], &ann.pos);
+            }
+            spent += alloc;
+            stats.accepted += accepted;
+            stats.trajectory.push(TempStep {
+                temperature: t,
+                hpwl: ann.total_hpwl(),
+                proposed: alloc,
+                accepted,
+            });
+            t *= COOLING;
+            step += 1;
+        }
     }
-    placement
+    stats.proposals = spent;
+    stats.final_hpwl = ann.total_hpwl();
+    placement.pos = ann.pos;
+    (placement, stats)
 }
 
-/// Cost delta of swapping the contents of grid cells `ca` and `cb`
-/// (either may be empty). Does not mutate the placement.
-fn swap_delta(
-    placement: &mut Placement,
-    cells: &[Option<u32>],
-    nets: &[Net],
-    incident: &[Vec<u32>],
-    ca: usize,
-    cb: usize,
-    w: usize,
-) -> f64 {
-    let affected: Vec<u32> = {
-        let mut v = Vec::new();
-        for c in [ca, cb] {
-            if let Some(s) = cells[c] {
-                v.extend_from_slice(&incident[s as usize]);
-            }
-        }
-        v.sort_unstable();
-        v.dedup();
-        v
+/// Draws a pair of distinct cell indices in `[0, n)`; `n` must be ≥ 2.
+fn draw_pair(rng: &mut StdRng, n: usize) -> (usize, usize) {
+    let ca = rng.gen_range(0..n);
+    let mut cb = rng.gen_range(0..n - 1);
+    if cb >= ca {
+        cb += 1;
+    }
+    (ca, cb)
+}
+
+/// Grid position of cell `c` on a grid of width `w`.
+fn cell_pos(c: usize, w: usize) -> (f32, f32) {
+    ((c % w) as f32, (c / w) as f32)
+}
+
+/// How many disjoint row bands `threads` workers can anneal: every band
+/// needs at least two cells so a swap pair can be drawn inside it.
+fn effective_shards(threads: usize, w: usize, h: usize) -> usize {
+    let cap = if w >= 2 { h } else { h / 2 };
+    threads.max(1).min(cap.max(1))
+}
+
+/// Splits `h` rows into `shards` contiguous, non-empty `(start, end)`
+/// bands, sizes differing by at most one row.
+fn band_ranges(h: usize, shards: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::with_capacity(shards);
+    let mut row = 0;
+    for k in 0..shards {
+        let rows = h / shards + usize::from(k < h % shards);
+        out.push((row, row + rows));
+        row += rows;
+    }
+    out
+}
+
+/// Decorrelated per-shard RNG seed (splitmix64-style finalizer over the
+/// user seed, the temperature-step index and the shard index).
+fn shard_seed(seed: u64, step: u64, shard: u64) -> u64 {
+    let mut z =
+        seed ^ step.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ shard.wrapping_mul(0xD1B5_4A32_D192_ED03);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Cached axis-aligned bounding box of one net's pins.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct NetBox {
+    min_x: f32,
+    max_x: f32,
+    min_y: f32,
+    max_y: f32,
+}
+
+impl NetBox {
+    const EMPTY: NetBox = NetBox {
+        min_x: f32::INFINITY,
+        max_x: f32::NEG_INFINITY,
+        min_y: f32::INFINITY,
+        max_y: f32::NEG_INFINITY,
     };
-    if affected.is_empty() {
-        return 0.0;
+
+    fn add(&mut self, (x, y): (f32, f32)) {
+        self.min_x = self.min_x.min(x);
+        self.max_x = self.max_x.max(x);
+        self.min_y = self.min_y.min(y);
+        self.max_y = self.max_y.max(y);
     }
-    let before: f64 = affected
-        .iter()
-        .map(|&ni| placement.net_hpwl(&nets[ni as usize]))
-        .sum();
-    // Tentatively move.
-    let pa = ((ca % w) as f32, (ca / w) as f32);
-    let pb = ((cb % w) as f32, (cb / w) as f32);
-    if let Some(s) = cells[ca] {
-        placement.pos[s as usize] = pb;
+
+    /// Box over a net's pins with slice positions taken from `pos`.
+    fn compute(net: &Net, pos: &[(f32, f32)]) -> NetBox {
+        let mut b = NetBox::EMPTY;
+        for &s in &net.slices {
+            b.add(pos[s as usize]);
+        }
+        for &p in &net.pads {
+            b.add(p);
+        }
+        b
     }
-    if let Some(s) = cells[cb] {
-        placement.pos[s as usize] = pa;
+
+    /// Like [`NetBox::compute`], with up to two slices' positions
+    /// overridden (the tentatively-moved slices of a swap proposal).
+    fn compute_moved(
+        net: &Net,
+        pos: &[(f32, f32)],
+        ma: (Option<u32>, (f32, f32)),
+        mb: (Option<u32>, (f32, f32)),
+    ) -> NetBox {
+        let mut b = NetBox::EMPTY;
+        for &s in &net.slices {
+            let p = if Some(s) == ma.0 {
+                ma.1
+            } else if Some(s) == mb.0 {
+                mb.1
+            } else {
+                pos[s as usize]
+            };
+            b.add(p);
+        }
+        for &p in &net.pads {
+            b.add(p);
+        }
+        b
     }
-    let after: f64 = affected
-        .iter()
-        .map(|&ni| placement.net_hpwl(&nets[ni as usize]))
-        .sum();
-    // Undo.
-    if let Some(s) = cells[ca] {
-        placement.pos[s as usize] = pa;
+
+    /// Half-perimeter wirelength of this box (0 for empty nets).
+    fn hpwl(&self) -> f64 {
+        if self.min_x > self.max_x {
+            0.0
+        } else {
+            ((self.max_x - self.min_x) + (self.max_y - self.min_y)) as f64
+        }
     }
-    if let Some(s) = cells[cb] {
-        placement.pos[s as usize] = pb;
+
+    /// Whether a pin at `p` touches this box's boundary (moving it away
+    /// may shrink the box).
+    fn on_boundary(&self, (x, y): (f32, f32)) -> bool {
+        x <= self.min_x || x >= self.max_x || y <= self.min_y || y >= self.max_y
     }
-    after - before
+
+    /// Whether a pin arriving at `p` would extend this box.
+    fn outside(&self, (x, y): (f32, f32)) -> bool {
+        x < self.min_x || x > self.max_x || y < self.min_y || y > self.max_y
+    }
 }
 
-fn apply_swap(
-    placement: &mut Placement,
-    cells: &mut [Option<u32>],
-    ca: usize,
-    cb: usize,
+/// The annealing work area one worker owns while proposing swaps: the
+/// shared netlist structure plus mutable positions, cell contents and
+/// cached per-net bounding boxes.
+struct Annealer<'a> {
+    nets: &'a [Net],
+    incident: &'a [Vec<u32>],
     w: usize,
-) {
-    let pa = ((ca % w) as f32, (ca / w) as f32);
-    let pb = ((cb % w) as f32, (cb / w) as f32);
-    if let Some(s) = cells[ca] {
-        placement.pos[s as usize] = pb;
+    pos: Vec<(f32, f32)>,
+    cells: Vec<Option<u32>>,
+    boxes: Vec<NetBox>,
+    /// Scratch: net → epoch of the proposal that last touched it.
+    stamp: Vec<u64>,
+    epoch: u64,
+    /// Nets touched by the current proposal, with their recomputed box
+    /// when the proposal changes it (`None` = box provably unchanged).
+    touched: Vec<(u32, Option<NetBox>)>,
+    /// Nets whose cached box an accepted move has rewritten since this
+    /// work area was created (deduplicated via `dirty_flag`); parallel
+    /// shards hand this back so the merge only refreshes those boxes.
+    dirty: Vec<u32>,
+    dirty_flag: Vec<bool>,
+}
+
+impl<'a> Annealer<'a> {
+    fn new(
+        nets: &'a [Net],
+        incident: &'a [Vec<u32>],
+        w: usize,
+        pos: Vec<(f32, f32)>,
+        cells: Vec<Option<u32>>,
+    ) -> Self {
+        let boxes = nets.iter().map(|n| NetBox::compute(n, &pos)).collect();
+        Annealer {
+            nets,
+            incident,
+            w,
+            pos,
+            cells,
+            boxes,
+            stamp: vec![0; nets.len()],
+            epoch: 0,
+            touched: Vec::new(),
+            dirty: Vec::new(),
+            dirty_flag: vec![false; nets.len()],
+        }
     }
-    if let Some(s) = cells[cb] {
-        placement.pos[s as usize] = pa;
+
+    /// A clone of this work area for a parallel shard (shares the
+    /// netlist structure, copies the mutable state).
+    fn fork(&self) -> Annealer<'a> {
+        Annealer {
+            nets: self.nets,
+            incident: self.incident,
+            w: self.w,
+            pos: self.pos.clone(),
+            cells: self.cells.clone(),
+            boxes: self.boxes.clone(),
+            stamp: vec![0; self.nets.len()],
+            epoch: 0,
+            touched: Vec::new(),
+            dirty: Vec::new(),
+            dirty_flag: vec![false; self.nets.len()],
+        }
     }
-    cells.swap(ca, cb);
+
+    /// Total HPWL from the cached boxes.
+    fn total_hpwl(&self) -> f64 {
+        self.boxes.iter().map(NetBox::hpwl).sum()
+    }
+
+    /// Evaluates the HPWL delta of swapping the contents of cells `ca`
+    /// and `cb` (either may be empty). Mutates nothing but internal
+    /// scratch; call [`Annealer::accept`] with the same pair to apply.
+    fn propose(&mut self, ca: usize, cb: usize) -> f64 {
+        self.touched.clear();
+        self.epoch += 1;
+        let sa = self.cells[ca];
+        let sb = self.cells[cb];
+        let pa = cell_pos(ca, self.w);
+        let pb = cell_pos(cb, self.w);
+        // Collect the distinct nets incident to either moving slice.
+        for s in [sa, sb] {
+            let Some(s) = s else { continue };
+            for &ni in &self.incident[s as usize] {
+                if self.stamp[ni as usize] != self.epoch {
+                    self.stamp[ni as usize] = self.epoch;
+                    self.touched.push((ni, None));
+                }
+            }
+        }
+        // For each touched net decide whether its box can change, and if
+        // so recompute it with the tentative positions. A mover strictly
+        // inside the box whose destination is also inside cannot change
+        // the box, so those nets are skipped entirely.
+        let mut delta = 0.0;
+        for i in 0..self.touched.len() {
+            let ni = self.touched[i].0 as usize;
+            let net = &self.nets[ni];
+            let cached = self.boxes[ni];
+            let mut needs = false;
+            for (s, to) in [(sa, pb), (sb, pa)] {
+                let Some(s) = s else { continue };
+                // `net.slices` is sorted and deduplicated (build_nets).
+                if net.slices.binary_search(&s).is_ok() {
+                    let from = self.pos[s as usize];
+                    needs |= cached.on_boundary(from) || cached.outside(to);
+                }
+            }
+            if needs {
+                let nb = NetBox::compute_moved(net, &self.pos, (sa, pb), (sb, pa));
+                delta += nb.hpwl() - cached.hpwl();
+                self.touched[i].1 = Some(nb);
+            }
+        }
+        delta
+    }
+
+    /// Applies the swap most recently evaluated by [`Annealer::propose`]
+    /// for the same `(ca, cb)` pair, updating positions, cell contents
+    /// and the cached boxes of the affected nets.
+    fn accept(&mut self, ca: usize, cb: usize) {
+        let sa = self.cells[ca];
+        let sb = self.cells[cb];
+        if let Some(s) = sa {
+            self.pos[s as usize] = cell_pos(cb, self.w);
+        }
+        if let Some(s) = sb {
+            self.pos[s as usize] = cell_pos(ca, self.w);
+        }
+        self.cells.swap(ca, cb);
+        for i in 0..self.touched.len() {
+            let (ni, nb) = self.touched[i];
+            if let Some(nb) = nb {
+                self.boxes[ni as usize] = nb;
+                if !self.dirty_flag[ni as usize] {
+                    self.dirty_flag[ni as usize] = true;
+                    self.dirty.push(ni);
+                }
+            }
+        }
+    }
+}
+
+/// What one parallel shard hands back at the temperature-step barrier.
+struct ShardResult {
+    /// The shard's band of the cell grid after its moves.
+    cells: Vec<Option<u32>>,
+    /// Final positions of the slices living in this band.
+    moved: Vec<(u32, (f32, f32))>,
+    /// Nets whose cached box the shard's accepted moves changed.
+    dirty: Vec<u32>,
+    /// Accepted proposals.
+    accepted: usize,
+}
+
+/// Runs one shard's slice of a temperature step: `n_moves` proposals
+/// confined to the cells in `range`.
+fn anneal_shard(
+    mut ann: Annealer<'_>,
+    range: std::ops::Range<usize>,
+    t: f64,
+    mut rng: StdRng,
+    n_moves: usize,
+) -> ShardResult {
+    let len = range.len();
+    let mut accepted = 0usize;
+    for _ in 0..n_moves {
+        let (a, b) = draw_pair(&mut rng, len);
+        let (ca, cb) = (range.start + a, range.start + b);
+        let delta = ann.propose(ca, cb);
+        if delta < 0.0 || rng.gen::<f64>() < (-delta / t).exp() {
+            ann.accept(ca, cb);
+            accepted += 1;
+        }
+    }
+    let cells = ann.cells[range].to_vec();
+    let moved = cells
+        .iter()
+        .filter_map(|c| c.map(|s| (s, ann.pos[s as usize])))
+        .collect();
+    ShardResult {
+        cells,
+        moved,
+        dirty: ann.dirty,
+        accepted,
+    }
 }
 
 #[cfg(test)]
@@ -372,6 +761,34 @@ mod tests {
         }
         net.push_output("y".into(), prev);
         net
+    }
+
+    /// A denser netlist: several fan-in trees over shared inputs, so
+    /// nets have a spread of fanouts.
+    fn dense_lutnet(luts: usize) -> LutNetlist {
+        let mut net = LutNetlist::new("d".into(), 6, vec!["a".into(), "b".into(), "c".into()]);
+        let mut ids: Vec<Signal> = vec![Signal::Input(0), Signal::Input(1), Signal::Input(2)];
+        for i in 0..luts {
+            let x = ids[i % ids.len()];
+            let y = ids[(i * 7 + 3) % ids.len()];
+            let id = net.push_lut(Lut {
+                inputs: vec![x, y],
+                truth: 0b0110,
+            });
+            ids.push(Signal::Lut(id));
+        }
+        net.push_output("y".into(), *ids.last().unwrap());
+        net
+    }
+
+    fn snake_pos(s: usize, w: usize) -> (f32, f32) {
+        let row = s / w;
+        let col = if row.is_multiple_of(2) {
+            s % w
+        } else {
+            w - 1 - (s % w)
+        };
+        (col as f32, row as f32)
     }
 
     #[test]
@@ -398,6 +815,7 @@ mod tests {
                 seed: 1,
                 moves_factor: 0,
                 max_total_moves: 0,
+                threads: 1,
             },
         );
         let refined = place(&net, &packing, &PlaceOptions::default());
@@ -437,5 +855,292 @@ mod tests {
         let p = place(&net, &packing, &PlaceOptions::default());
         assert_eq!(p.grid_w(), 1);
         assert_eq!(p.slice_pos(0), (0.0, 0.0));
+    }
+
+    // ---- budget accounting (the `max_total_moves` contract) ----
+
+    #[test]
+    fn budget_is_exact_when_it_binds() {
+        let net = sample_lutnet(60);
+        let packing = pack_slices(&net, 4);
+        for threads in [1, 4] {
+            let (_, stats) = place_with_stats(
+                &net,
+                &packing,
+                &PlaceOptions {
+                    seed: 7,
+                    moves_factor: 1_000,
+                    max_total_moves: 500,
+                    threads,
+                },
+            );
+            assert_eq!(
+                stats.proposals, 500,
+                "threads={threads}: budget must be spent exactly"
+            );
+            let stepped: usize = stats.trajectory.iter().map(|s| s.proposed).sum();
+            assert_eq!(stepped + PROBE_PROPOSALS, 500);
+        }
+    }
+
+    #[test]
+    fn budget_smaller_than_probe_truncates_the_probe() {
+        let net = sample_lutnet(60);
+        let packing = pack_slices(&net, 4);
+        let (_, stats) = place_with_stats(
+            &net,
+            &packing,
+            &PlaceOptions {
+                seed: 7,
+                moves_factor: 8,
+                max_total_moves: 10,
+                threads: 1,
+            },
+        );
+        assert_eq!(stats.proposals, 10);
+        assert!(stats.trajectory.is_empty());
+    }
+
+    #[test]
+    fn zero_budget_returns_the_snake_placement() {
+        let net = sample_lutnet(60);
+        let packing = pack_slices(&net, 4);
+        let (p, stats) = place_with_stats(
+            &net,
+            &packing,
+            &PlaceOptions {
+                seed: 7,
+                moves_factor: 8,
+                max_total_moves: 0,
+                threads: 1,
+            },
+        );
+        assert_eq!(stats.proposals, 0);
+        assert_eq!(stats.accepted, 0);
+        for s in 0..packing.num_slices() {
+            assert_eq!(p.slice_pos(s as u32), snake_pos(s, p.grid_w()));
+        }
+    }
+
+    #[test]
+    fn stats_are_consistent_with_the_returned_placement() {
+        let net = dense_lutnet(80);
+        let packing = pack_slices(&net, 4);
+        let nets = build_nets(&net, &packing);
+        for threads in [1, 4] {
+            let opts = PlaceOptions {
+                threads,
+                ..PlaceOptions::default()
+            };
+            let (p, stats) = place_with_stats(&net, &packing, &opts);
+            // The cached boxes (incrementally updated sequentially,
+            // dirty-refreshed at parallel merges) must agree with a
+            // from-scratch HPWL over the returned placement.
+            assert!(
+                (stats.final_hpwl - p.total_hpwl(&nets)).abs() < 1e-6,
+                "threads={threads}: cached {} vs fresh {}",
+                stats.final_hpwl,
+                p.total_hpwl(&nets)
+            );
+            assert!(stats.final_hpwl <= stats.initial_hpwl * 1.001);
+            assert!(stats.accepted <= stats.proposals);
+            if let Some(last) = stats.trajectory.last() {
+                assert!((last.hpwl - stats.final_hpwl).abs() < 1e-6);
+            }
+        }
+    }
+
+    // ---- proposal evaluation is side-effect free ----
+
+    fn build_annealer(lutnet: &LutNetlist) -> (Vec<Net>, Vec<Vec<u32>>, usize, usize) {
+        let packing = pack_slices(lutnet, 4);
+        let num_slices = packing.num_slices();
+        let (w, h) = grid_size(num_slices);
+        let nets = build_nets(lutnet, &packing);
+        let mut incident: Vec<Vec<u32>> = vec![Vec::new(); num_slices];
+        for (ni, net) in nets.iter().enumerate() {
+            for &s in &net.slices {
+                incident[s as usize].push(ni as u32);
+            }
+        }
+        (nets, incident, w, h)
+    }
+
+    fn snake_state(num_slices: usize, w: usize, h: usize) -> (Vec<(f32, f32)>, Vec<Option<u32>>) {
+        let mut cells: Vec<Option<u32>> = vec![None; w * h];
+        let mut pos = vec![(0.0, 0.0); num_slices];
+        for (s, p) in pos.iter_mut().enumerate() {
+            let sp = snake_pos(s, w);
+            cells[(sp.1 as usize) * w + sp.0 as usize] = Some(s as u32);
+            *p = sp;
+        }
+        (pos, cells)
+    }
+
+    #[test]
+    fn rejected_proposal_leaves_placement_bit_identical() {
+        let lutnet = dense_lutnet(50);
+        let packing = pack_slices(&lutnet, 4);
+        let (nets, incident, w, h) = build_annealer(&lutnet);
+        let (pos, cells) = snake_state(packing.num_slices(), w, h);
+        let mut ann = Annealer::new(&nets, &incident, w, pos, cells);
+        let before_pos: Vec<(u32, u32)> = ann
+            .pos
+            .iter()
+            .map(|p| (p.0.to_bits(), p.1.to_bits()))
+            .collect();
+        let before_cells = ann.cells.clone();
+        let before_boxes = ann.boxes.clone();
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..200 {
+            let (ca, cb) = draw_pair(&mut rng, w * h);
+            let _delta = ann.propose(ca, cb);
+            // Never accept: evaluation alone must not move anything.
+        }
+        let after_pos: Vec<(u32, u32)> = ann
+            .pos
+            .iter()
+            .map(|p| (p.0.to_bits(), p.1.to_bits()))
+            .collect();
+        assert_eq!(before_pos, after_pos);
+        assert_eq!(before_cells, ann.cells);
+        assert_eq!(before_boxes, ann.boxes);
+    }
+
+    #[test]
+    fn proposal_deltas_match_recomputed_hpwl() {
+        let lutnet = dense_lutnet(70);
+        let packing = pack_slices(&lutnet, 4);
+        let (nets, incident, w, h) = build_annealer(&lutnet);
+        let (pos, cells) = snake_state(packing.num_slices(), w, h);
+        let mut ann = Annealer::new(&nets, &incident, w, pos, cells);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut total = ann.total_hpwl();
+        for i in 0..500 {
+            let (ca, cb) = draw_pair(&mut rng, w * h);
+            let delta = ann.propose(ca, cb);
+            if i % 3 != 0 {
+                ann.accept(ca, cb);
+                total += delta;
+                // The cached running total must match a from-scratch
+                // recomputation over the moved positions.
+                let fresh: f64 = nets
+                    .iter()
+                    .map(|n| NetBox::compute(n, &ann.pos).hpwl())
+                    .sum();
+                assert!(
+                    (total - fresh).abs() < 1e-6,
+                    "incremental total {total} diverged from fresh {fresh} at move {i}"
+                );
+                assert!((ann.total_hpwl() - fresh).abs() < 1e-6);
+            }
+        }
+    }
+
+    // ---- parallel mode ----
+
+    #[test]
+    fn parallel_placement_is_deterministic() {
+        let net = dense_lutnet(90);
+        let packing = pack_slices(&net, 4);
+        let opts = PlaceOptions {
+            threads: 4,
+            ..PlaceOptions::default()
+        };
+        let p1 = place(&net, &packing, &opts);
+        let p2 = place(&net, &packing, &opts);
+        for s in 0..packing.num_slices() {
+            assert_eq!(p1.slice_pos(s as u32), p2.slice_pos(s as u32));
+        }
+    }
+
+    #[test]
+    fn parallel_placement_beats_snake_wirelength() {
+        let net = dense_lutnet(120);
+        let packing = pack_slices(&net, 4);
+        let nets = build_nets(&net, &packing);
+        let snake = place(
+            &net,
+            &packing,
+            &PlaceOptions {
+                seed: 1,
+                moves_factor: 0,
+                max_total_moves: 0,
+                threads: 1,
+            },
+        );
+        let parallel = place(
+            &net,
+            &packing,
+            &PlaceOptions {
+                threads: 4,
+                ..PlaceOptions::default()
+            },
+        );
+        assert!(parallel.total_hpwl(&nets) <= snake.total_hpwl(&nets));
+    }
+
+    #[test]
+    fn parallel_keeps_every_slice_in_a_unique_cell() {
+        let net = dense_lutnet(75);
+        let packing = pack_slices(&net, 4);
+        let p = place(
+            &net,
+            &packing,
+            &PlaceOptions {
+                threads: 3,
+                ..PlaceOptions::default()
+            },
+        );
+        let mut seen = std::collections::HashSet::new();
+        for s in 0..packing.num_slices() {
+            let pos = p.slice_pos(s as u32);
+            assert!(seen.insert((pos.0 as i64, pos.1 as i64)));
+        }
+    }
+
+    #[test]
+    fn thread_counts_zero_and_one_agree() {
+        let net = sample_lutnet(40);
+        let packing = pack_slices(&net, 4);
+        let p0 = place(
+            &net,
+            &packing,
+            &PlaceOptions {
+                threads: 0,
+                ..PlaceOptions::default()
+            },
+        );
+        let p1 = place(&net, &packing, &PlaceOptions::default());
+        for s in 0..packing.num_slices() {
+            assert_eq!(p0.slice_pos(s as u32), p1.slice_pos(s as u32));
+        }
+    }
+
+    #[test]
+    fn band_ranges_partition_all_rows() {
+        for h in [1usize, 2, 5, 54, 57] {
+            for shards in [1usize, 2, 3, 4, 7] {
+                let shards = shards.min(h);
+                let bands = band_ranges(h, shards);
+                assert_eq!(bands.len(), shards);
+                assert_eq!(bands[0].0, 0);
+                assert_eq!(bands.last().unwrap().1, h);
+                for w in bands.windows(2) {
+                    assert_eq!(w[0].1, w[1].0);
+                    assert!(w[0].1 > w[0].0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn effective_shards_guarantee_two_cells_per_band() {
+        assert_eq!(effective_shards(4, 1, 1), 1);
+        assert_eq!(effective_shards(4, 1, 8), 4);
+        assert_eq!(effective_shards(8, 1, 8), 4);
+        assert_eq!(effective_shards(4, 10, 2), 2);
+        assert_eq!(effective_shards(1, 10, 10), 1);
+        assert_eq!(effective_shards(0, 10, 10), 1);
     }
 }

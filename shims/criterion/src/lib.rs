@@ -6,14 +6,36 @@
 //! [`BenchmarkId`], [`Throughput`], [`Bencher::iter`], and the
 //! [`criterion_group!`]/[`criterion_main!`] macros — but replaces the
 //! statistical engine with a simple wall-clock sampler: each benchmark
-//! runs a short warm-up, then a fixed batch of timed iterations, and
-//! prints the mean time per iteration. That is enough for the `--bench`
-//! targets to build, run, and give coarse numbers offline; it makes no
-//! attempt at criterion's outlier analysis or HTML reports.
+//! runs a short warm-up, then a fixed budget of timed iterations split
+//! into batches, and prints the mean and best-batch time per iteration.
+//!
+//! # Baseline persistence
+//!
+//! Unlike the real criterion the shim has no HTML reports, but it does
+//! support run-over-run comparison so perf changes are measurable:
+//!
+//! * `CRITERION_SHIM_BASELINE=save` writes one JSON file per benchmark
+//!   (`{"label": …, "mean_ns": …, "min_ns": …}`) under
+//!   `target/shim-criterion/`.
+//! * `CRITERION_SHIM_BASELINE=compare` reads those files back, prints the
+//!   mean delta per benchmark, and makes the bench binary exit nonzero if
+//!   any benchmark regressed beyond the threshold. A regression is judged
+//!   on the **best-batch (min) time**, which is far less noisy than the
+//!   mean on shared machines.
+//! * `CRITERION_SHIM_THRESHOLD` sets the regression threshold as a
+//!   fraction of the baseline min (default `0.5`, i.e. +50% — wall-clock
+//!   sampling on shared machines is noisy).
+//! * `CRITERION_SHIM_FLOOR_NS` sets the noise floor (default `1000`):
+//!   benchmarks whose baseline min is below it are reported but never
+//!   fail the run — sub-microsecond kernels shift by tens of percent
+//!   from code-layout luck alone whenever any dependency is relinked.
+//! * `CRITERION_SHIM_DIR` overrides the baseline directory.
 
 #![forbid(unsafe_code)]
 
 use std::fmt::Display;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -55,15 +77,34 @@ impl Display for BenchmarkId {
     }
 }
 
+/// One benchmark's timing result: total iterations, total elapsed time,
+/// and the fastest per-iteration time over the timed batches.
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    iters: u64,
+    elapsed: Duration,
+    min_ns: f64,
+}
+
+impl Sample {
+    fn mean_ns(&self) -> f64 {
+        self.elapsed.as_secs_f64() / self.iters as f64 * 1e9
+    }
+}
+
 /// Drives the timed iterations of one benchmark.
 pub struct Bencher<'a> {
     config: &'a SamplingConfig,
-    /// Filled in by [`Bencher::iter`]: (iterations, elapsed).
-    result: Option<(u64, Duration)>,
+    /// Filled in by [`Bencher::iter`].
+    result: Option<Sample>,
 }
 
 impl Bencher<'_> {
     /// Times `routine`, running it for roughly the configured budget.
+    ///
+    /// The budget is split into up to `sample_size` batches; the mean is
+    /// taken over all iterations and the minimum over batch means, so a
+    /// noisy machine still yields a usable best-case number.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         // Warm-up: run until the warm-up budget is spent (at least once).
         let warm_start = Instant::now();
@@ -80,11 +121,26 @@ impl Bencher<'_> {
         let budget = self.config.measurement_time.as_secs_f64();
         let planned =
             ((budget / per_iter.max(1e-9)) as u64).clamp(1, self.config.sample_size as u64 * 1_000);
-        let start = Instant::now();
-        for _ in 0..planned {
-            black_box(routine());
+        let batches = (self.config.sample_size as u64).clamp(1, planned);
+        let batch_iters = planned / batches;
+        let mut total = Duration::ZERO;
+        let mut done: u64 = 0;
+        let mut min_ns = f64::INFINITY;
+        for _ in 0..batches {
+            let start = Instant::now();
+            for _ in 0..batch_iters {
+                black_box(routine());
+            }
+            let batch_elapsed = start.elapsed();
+            total += batch_elapsed;
+            done += batch_iters;
+            min_ns = min_ns.min(batch_elapsed.as_secs_f64() / batch_iters as f64 * 1e9);
         }
-        self.result = Some((planned, start.elapsed()));
+        self.result = Some(Sample {
+            iters: done,
+            elapsed: total,
+            min_ns,
+        });
     }
 }
 
@@ -180,8 +236,8 @@ fn run_one(
     };
     f(&mut bencher);
     match bencher.result {
-        Some((iters, elapsed)) => {
-            let per_iter = elapsed.as_secs_f64() / iters as f64;
+        Some(sample) => {
+            let per_iter = sample.mean_ns() / 1e9;
             let rate = match throughput {
                 Some(Throughput::Elements(n)) => {
                     format!("  ({:.3e} elem/s)", n as f64 / per_iter)
@@ -192,9 +248,12 @@ fn run_one(
                 None => String::new(),
             };
             println!(
-                "bench: {label:<48} {:>12.3} ns/iter  ({iters} iters){rate}",
-                per_iter * 1e9
+                "bench: {label:<48} {:>12.3} ns/iter  (min {:.3} ns, {} iters){rate}",
+                sample.mean_ns(),
+                sample.min_ns,
+                sample.iters
             );
+            baseline_record(label, sample.mean_ns(), sample.min_ns);
         }
         None => println!("bench: {label:<48} (no measurement: iter() never called)"),
     }
@@ -226,6 +285,260 @@ impl Criterion {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Baseline persistence (`CRITERION_SHIM_BASELINE=save|compare`).
+// ---------------------------------------------------------------------------
+
+/// What `CRITERION_SHIM_BASELINE` asked this run to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BaselineMode {
+    Off,
+    Save,
+    Compare,
+}
+
+fn baseline_mode() -> BaselineMode {
+    match std::env::var("CRITERION_SHIM_BASELINE").as_deref() {
+        Ok("save") => BaselineMode::Save,
+        Ok("compare") => BaselineMode::Compare,
+        Ok(other) => {
+            eprintln!(
+                "criterion shim: unknown CRITERION_SHIM_BASELINE={other:?} (want save|compare); \
+                 baselines disabled"
+            );
+            BaselineMode::Off
+        }
+        Err(_) => BaselineMode::Off,
+    }
+}
+
+fn baseline_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("CRITERION_SHIM_DIR") {
+        return PathBuf::from(dir);
+    }
+    // The shim lives at <workspace>/shims/criterion, so the workspace
+    // target directory is two levels up. This keeps baselines in one
+    // place no matter which package's bench target is running.
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/shim-criterion")
+}
+
+fn baseline_threshold() -> f64 {
+    std::env::var("CRITERION_SHIM_THRESHOLD")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.5)
+}
+
+fn baseline_floor_ns() -> f64 {
+    std::env::var("CRITERION_SHIM_FLOOR_NS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000.0)
+}
+
+/// Regressions recorded by compare mode, reported by [`baseline_finish`].
+static REGRESSIONS: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+/// One recorded benchmark baseline.
+#[derive(Debug, Clone, PartialEq)]
+struct BaselineEntry {
+    label: String,
+    mean_ns: f64,
+    min_ns: f64,
+}
+
+impl BaselineEntry {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"label\":\"{}\",\"mean_ns\":{:.3},\"min_ns\":{:.3}}}\n",
+            json_escape(&self.label),
+            self.mean_ns,
+            self.min_ns
+        )
+    }
+
+    fn from_json(text: &str) -> Option<BaselineEntry> {
+        Some(BaselineEntry {
+            label: json_str_field(text, "label")?,
+            mean_ns: json_f64_field(text, "mean_ns")?,
+            min_ns: json_f64_field(text, "min_ns")?,
+        })
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Extracts a numeric field from a flat JSON object (shim-grade parsing:
+/// enough for the files this crate writes itself).
+fn json_f64_field(text: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = text.find(&pat)? + pat.len();
+    let rest = &text[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Extracts a string field from a flat JSON object written by this crate.
+fn json_str_field(text: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let start = text.find(&pat)? + pat.len();
+    let rest = &text[start..];
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => out.push(chars.next()?),
+            _ => out.push(c),
+        }
+    }
+    None
+}
+
+/// Turns a benchmark label into a safe file name.
+fn sanitize_label(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// Outcome of recording one benchmark against the baseline store.
+#[derive(Debug, Clone, PartialEq)]
+enum RecordOutcome {
+    Disabled,
+    Saved(PathBuf),
+    NoBaseline(PathBuf),
+    Compared {
+        delta_frac: f64,
+        min_delta_frac: f64,
+        regression: bool,
+    },
+    IoError(String),
+}
+
+/// Mode/dir-explicit core of [`baseline_record`], separated so tests can
+/// exercise it without touching process environment variables.
+fn baseline_record_in(
+    mode: BaselineMode,
+    dir: &Path,
+    threshold: f64,
+    floor_ns: f64,
+    entry: &BaselineEntry,
+) -> RecordOutcome {
+    let file = dir.join(format!("{}.json", sanitize_label(&entry.label)));
+    match mode {
+        BaselineMode::Off => RecordOutcome::Disabled,
+        BaselineMode::Save => {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                return RecordOutcome::IoError(format!("create {}: {e}", dir.display()));
+            }
+            match std::fs::write(&file, entry.to_json()) {
+                Ok(()) => RecordOutcome::Saved(file),
+                Err(e) => RecordOutcome::IoError(format!("write {}: {e}", file.display())),
+            }
+        }
+        BaselineMode::Compare => {
+            let Ok(text) = std::fs::read_to_string(&file) else {
+                return RecordOutcome::NoBaseline(file);
+            };
+            let Some(base) = BaselineEntry::from_json(&text) else {
+                return RecordOutcome::IoError(format!("unparsable baseline {}", file.display()));
+            };
+            // Distinct labels can sanitize to the same file name; never
+            // judge a benchmark against another benchmark's numbers.
+            if base.label != entry.label {
+                return RecordOutcome::NoBaseline(file);
+            }
+            let delta_frac = (entry.mean_ns - base.mean_ns) / base.mean_ns.max(1e-9);
+            let min_delta_frac = (entry.min_ns - base.min_ns) / base.min_ns.max(1e-9);
+            // Regressions are judged on the noise-robust min, and only
+            // above the floor: sub-floor kernels move by large fractions
+            // from code-layout changes alone.
+            let regression = base.min_ns >= floor_ns && min_delta_frac > threshold;
+            RecordOutcome::Compared {
+                delta_frac,
+                min_delta_frac,
+                regression,
+            }
+        }
+    }
+}
+
+/// Saves or compares one benchmark result according to
+/// `CRITERION_SHIM_BASELINE`; called by the shim after every benchmark.
+fn baseline_record(label: &str, mean_ns: f64, min_ns: f64) {
+    let mode = baseline_mode();
+    if mode == BaselineMode::Off {
+        return;
+    }
+    let threshold = baseline_threshold();
+    let entry = BaselineEntry {
+        label: label.to_string(),
+        mean_ns,
+        min_ns,
+    };
+    match baseline_record_in(
+        mode,
+        &baseline_dir(),
+        threshold,
+        baseline_floor_ns(),
+        &entry,
+    ) {
+        RecordOutcome::Disabled => {}
+        RecordOutcome::Saved(file) => println!("  baseline: saved {}", file.display()),
+        RecordOutcome::NoBaseline(file) => {
+            println!(
+                "  baseline: none at {} (run with save first)",
+                file.display()
+            )
+        }
+        RecordOutcome::Compared {
+            delta_frac,
+            min_delta_frac,
+            regression,
+        } => {
+            let pct = delta_frac * 100.0;
+            let min_pct = min_delta_frac * 100.0;
+            if regression {
+                println!(
+                    "  baseline: {pct:+.1}% mean, {min_pct:+.1}% min — REGRESSION (min > +{:.0}%)",
+                    threshold * 100.0
+                );
+                REGRESSIONS
+                    .lock()
+                    .unwrap()
+                    .push(format!("{label}: {min_pct:+.1}% min"));
+            } else {
+                println!("  baseline: {pct:+.1}% mean, {min_pct:+.1}% min vs saved");
+            }
+        }
+        RecordOutcome::IoError(e) => eprintln!("criterion shim baseline: {e}"),
+    }
+}
+
+/// Reports the verdict of a `CRITERION_SHIM_BASELINE=compare` run.
+///
+/// Called by [`criterion_main!`] after all groups finish; if any
+/// benchmark regressed beyond the threshold the process exits nonzero so
+/// CI can gate on it.
+pub fn baseline_finish() {
+    let regressions = std::mem::take(&mut *REGRESSIONS.lock().unwrap());
+    if regressions.is_empty() {
+        return;
+    }
+    eprintln!(
+        "criterion shim: {} benchmark(s) regressed:",
+        regressions.len()
+    );
+    for r in &regressions {
+        eprintln!("  {r}");
+    }
+    std::process::exit(1);
+}
+
 /// Bundles benchmark functions into a single runnable group.
 #[macro_export]
 macro_rules! criterion_group {
@@ -241,7 +554,8 @@ macro_rules! criterion_group {
 ///
 /// Recognises (and ignores the value of) the `--bench`/`--test` flags
 /// cargo passes, so the target behaves under both `cargo bench` and
-/// `cargo test --benches`.
+/// `cargo test --benches`. After all groups run, reports baseline
+/// comparison regressions (see [`baseline_finish`]).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
@@ -250,6 +564,7 @@ macro_rules! criterion_main {
             // `--test`; a smoke pass of every benchmark is still the
             // most faithful cheap behaviour, so run them regardless.
             $($group();)+
+            $crate::baseline_finish();
         }
     };
 }
@@ -283,5 +598,166 @@ mod tests {
     fn benchmark_id_formats() {
         assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
         assert_eq!(BenchmarkId::from_parameter("p").to_string(), "p");
+    }
+
+    #[test]
+    fn sampler_reports_min_not_above_mean() {
+        let config = SamplingConfig {
+            sample_size: 8,
+            warm_up_time: Duration::from_millis(1),
+            measurement_time: Duration::from_millis(4),
+        };
+        let mut bencher = Bencher {
+            config: &config,
+            result: None,
+        };
+        bencher.iter(|| black_box(7u64 * 6));
+        let sample = bencher.result.expect("iter() ran");
+        assert!(sample.iters > 0);
+        assert!(sample.min_ns <= sample.mean_ns() * 1.0001);
+    }
+
+    #[test]
+    fn baseline_json_roundtrips() {
+        let entry = BaselineEntry {
+            label: "group/bench \"x\"".into(),
+            mean_ns: 123.456,
+            min_ns: 100.0,
+        };
+        let parsed = BaselineEntry::from_json(&entry.to_json()).unwrap();
+        assert_eq!(parsed.label, entry.label);
+        assert!((parsed.mean_ns - entry.mean_ns).abs() < 1e-3);
+        assert!((parsed.min_ns - entry.min_ns).abs() < 1e-3);
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("shim-criterion-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn save_then_compare_detects_regression_and_improvement() {
+        let dir = temp_dir("roundtrip");
+        let entry = BaselineEntry {
+            label: "g/b".into(),
+            mean_ns: 1000.0,
+            min_ns: 900.0,
+        };
+        // No baseline yet.
+        assert!(matches!(
+            baseline_record_in(BaselineMode::Compare, &dir, 0.5, 0.0, &entry),
+            RecordOutcome::NoBaseline(_)
+        ));
+        // Save, then compare equal / improved / regressed.
+        assert!(matches!(
+            baseline_record_in(BaselineMode::Save, &dir, 0.5, 0.0, &entry),
+            RecordOutcome::Saved(_)
+        ));
+        let same = baseline_record_in(BaselineMode::Compare, &dir, 0.5, 0.0, &entry);
+        assert!(
+            matches!(same, RecordOutcome::Compared { regression: false, delta_frac, .. } if delta_frac.abs() < 1e-6)
+        );
+        let faster = BaselineEntry {
+            mean_ns: 400.0,
+            min_ns: 380.0,
+            ..entry.clone()
+        };
+        assert!(matches!(
+            baseline_record_in(BaselineMode::Compare, &dir, 0.5, 0.0, &faster),
+            RecordOutcome::Compared {
+                regression: false,
+                ..
+            }
+        ));
+        let slower = BaselineEntry {
+            mean_ns: 1600.0,
+            min_ns: 1500.0,
+            ..entry.clone()
+        };
+        assert!(matches!(
+            baseline_record_in(BaselineMode::Compare, &dir, 0.5, 0.0, &slower),
+            RecordOutcome::Compared {
+                regression: true,
+                ..
+            }
+        ));
+        // A looser threshold tolerates the same slowdown.
+        assert!(matches!(
+            baseline_record_in(BaselineMode::Compare, &dir, 1.0, 0.0, &slower),
+            RecordOutcome::Compared {
+                regression: false,
+                ..
+            }
+        ));
+        // A mean regression with a stable min is not flagged.
+        let noisy_mean = BaselineEntry {
+            mean_ns: 2500.0,
+            min_ns: 910.0,
+            ..entry.clone()
+        };
+        assert!(matches!(
+            baseline_record_in(BaselineMode::Compare, &dir, 0.5, 0.0, &noisy_mean),
+            RecordOutcome::Compared {
+                regression: false,
+                ..
+            }
+        ));
+        // Below the noise floor nothing is ever flagged.
+        assert!(matches!(
+            baseline_record_in(BaselineMode::Compare, &dir, 0.5, 10_000.0, &slower),
+            RecordOutcome::Compared {
+                regression: false,
+                ..
+            }
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn off_mode_never_touches_disk() {
+        let dir = temp_dir("off");
+        let entry = BaselineEntry {
+            label: "g/off".into(),
+            mean_ns: 1.0,
+            min_ns: 1.0,
+        };
+        assert_eq!(
+            baseline_record_in(BaselineMode::Off, &dir, 0.5, 0.0, &entry),
+            RecordOutcome::Disabled
+        );
+        assert!(!dir.exists());
+    }
+
+    #[test]
+    fn labels_sanitize_to_file_names() {
+        assert_eq!(sanitize_label("a/b c-1"), "a_b_c_1");
+    }
+
+    #[test]
+    fn colliding_labels_never_compare_against_each_other() {
+        let dir = temp_dir("collide");
+        // "g/b" and "g b" sanitize to the same file name.
+        let first = BaselineEntry {
+            label: "g/b".into(),
+            mean_ns: 1000.0,
+            min_ns: 900.0,
+        };
+        assert!(matches!(
+            baseline_record_in(BaselineMode::Save, &dir, 0.5, 0.0, &first),
+            RecordOutcome::Saved(_)
+        ));
+        let other = BaselineEntry {
+            label: "g b".into(),
+            mean_ns: 9000.0,
+            min_ns: 8000.0,
+        };
+        assert_eq!(sanitize_label(&first.label), sanitize_label(&other.label));
+        assert!(matches!(
+            baseline_record_in(BaselineMode::Compare, &dir, 0.5, 0.0, &other),
+            RecordOutcome::NoBaseline(_)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -11,7 +11,14 @@
 //!
 //! * cases are generated from a seed derived from the test name, so runs
 //!   are reproducible without a persisted regression file;
-//! * there is no shrinking — a failing case reports its inputs verbatim;
+//! * shrinking is minimal rather than value-tree based: integers are
+//!   halved toward the low end of their strategy, vectors are shortened
+//!   and their elements shrunk, tuples shrink one component at a time,
+//!   and filters only keep candidates their predicate accepts (see
+//!   [`Strategy::shrink`](strategy::Strategy::shrink)). Because the
+//!   failing value is re-run against shrink candidates after the fact,
+//!   bound value types must be `Clone` — a deliberate narrowing of the
+//!   upstream API that every usage in this workspace satisfies;
 //! * the default case count is 256 (like upstream) and can be lowered via
 //!   the `PROPTEST_CASES` environment variable or
 //!   `ProptestConfig::with_cases`.
@@ -133,14 +140,24 @@ pub mod strategy {
 
     /// A recipe for generating random values of one type.
     ///
-    /// Unlike upstream proptest there is no value tree / shrinking; a
-    /// strategy simply draws a value from a deterministic RNG.
+    /// Unlike upstream proptest there is no value tree; a strategy draws
+    /// a value from a deterministic RNG, and [`Strategy::shrink`]
+    /// proposes simpler variants of a failing value after the fact.
     pub trait Strategy {
         /// The type of values this strategy produces.
         type Value: std::fmt::Debug;
 
         /// Draws one value.
         fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, TestCaseError>;
+
+        /// Proposes strictly-simpler candidates for `value`, best first
+        /// (used to shrink failing cases). Every candidate must be a
+        /// value this strategy could itself have generated. The default
+        /// proposes nothing, which disables shrinking for the strategy.
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            let _ = value;
+            Vec::new()
+        }
 
         /// Applies `f` to every generated value.
         fn prop_map<O, F>(self, f: F) -> Map<Self, F>
@@ -185,6 +202,25 @@ pub mod strategy {
         }
     }
 
+    /// Integer shrink candidates: the low end, the midpoint toward it,
+    /// and the single step toward it — best (simplest) first.
+    pub(crate) fn shrink_int_toward(v: i128, lo: i128) -> Vec<i128> {
+        let mut out = Vec::new();
+        if v == lo {
+            return out;
+        }
+        out.push(lo);
+        let mid = lo + (v - lo) / 2;
+        if mid != lo && mid != v {
+            out.push(mid);
+        }
+        let step = if v > lo { v - 1 } else { v + 1 };
+        if step != lo && step != mid {
+            out.push(step);
+        }
+        out
+    }
+
     /// Output of [`Strategy::prop_map`].
     #[derive(Debug, Clone)]
     pub struct Map<S, F> {
@@ -202,6 +238,8 @@ pub mod strategy {
         fn generate(&self, rng: &mut TestRng) -> Result<O, TestCaseError> {
             Ok((self.f)(self.inner.generate(rng)?))
         }
+        // No shrink: the mapping is not invertible, so the inner value
+        // that produced a failing output is unknown.
     }
 
     /// Output of [`Strategy::prop_filter`].
@@ -229,6 +267,13 @@ pub mod strategy {
                 "filter '{}' rejected every candidate",
                 self.reason
             )))
+        }
+        fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
+            self.inner
+                .shrink(value)
+                .into_iter()
+                .filter(|c| (self.pred)(c))
+                .collect()
         }
     }
 
@@ -270,15 +315,22 @@ pub mod strategy {
         fn generate(&self, rng: &mut TestRng) -> Result<T, TestCaseError> {
             self.0.generate_dyn(rng)
         }
+        fn shrink(&self, value: &T) -> Vec<T> {
+            self.0.shrink_dyn(value)
+        }
     }
 
     trait DynStrategy<T> {
         fn generate_dyn(&self, rng: &mut TestRng) -> Result<T, TestCaseError>;
+        fn shrink_dyn(&self, value: &T) -> Vec<T>;
     }
 
     impl<S: Strategy> DynStrategy<S::Value> for S {
         fn generate_dyn(&self, rng: &mut TestRng) -> Result<S::Value, TestCaseError> {
             self.generate(rng)
+        }
+        fn shrink_dyn(&self, value: &S::Value) -> Vec<S::Value> {
+            self.shrink(value)
         }
     }
 
@@ -303,6 +355,7 @@ pub mod strategy {
             let i = rng.below(self.options.len() as u64) as usize;
             self.options[i].generate(rng)
         }
+        // No shrink: the arm that generated a value is not recorded.
     }
 
     macro_rules! impl_range_strategy {
@@ -313,6 +366,12 @@ pub mod strategy {
                     assert!(self.start < self.end, "strategy on empty range");
                     let span = (self.end - self.start) as u64;
                     Ok(self.start + rng.below(span) as $t)
+                }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    shrink_int_toward(*value as i128, self.start as i128)
+                        .into_iter()
+                        .map(|x| x as $t)
+                        .collect()
                 }
             }
             impl Strategy for std::ops::RangeInclusive<$t> {
@@ -325,6 +384,12 @@ pub mod strategy {
                         return Ok(rng.next_u64() as $t);
                     }
                     Ok(lo + rng.below(span + 1) as $t)
+                }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    shrink_int_toward(*value as i128, *self.start() as i128)
+                        .into_iter()
+                        .map(|x| x as $t)
+                        .collect()
                 }
             }
         )*};
@@ -340,23 +405,35 @@ pub mod strategy {
     }
 
     macro_rules! impl_tuple_strategy {
-        ($($name:ident),+) => {
-            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+        ($(($name:ident, $idx:tt)),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+)
+            where
+                $($name::Value: Clone),+
+            {
                 type Value = ($($name::Value,)+);
-                #[allow(non_snake_case)]
                 fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, TestCaseError> {
-                    let ($($name,)+) = self;
-                    Ok(($($name.generate(rng)?,)+))
+                    Ok(($(self.$idx.generate(rng)?,)+))
+                }
+                fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                    let mut out = Vec::new();
+                    $(
+                        for cand in self.$idx.shrink(&value.$idx) {
+                            let mut w = value.clone();
+                            w.$idx = cand;
+                            out.push(w);
+                        }
+                    )+
+                    out
                 }
             }
         };
     }
-    impl_tuple_strategy!(A);
-    impl_tuple_strategy!(A, B);
-    impl_tuple_strategy!(A, B, C);
-    impl_tuple_strategy!(A, B, C, D);
-    impl_tuple_strategy!(A, B, C, D, E);
-    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!((A, 0));
+    impl_tuple_strategy!((A, 0), (B, 1));
+    impl_tuple_strategy!((A, 0), (B, 1), (C, 2));
+    impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3));
+    impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4));
+    impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4), (F, 5));
 }
 
 pub mod arbitrary {
@@ -369,6 +446,13 @@ pub mod arbitrary {
     pub trait Arbitrary: Sized + std::fmt::Debug {
         /// Draws one value uniformly from the type's domain.
         fn arbitrary_value(rng: &mut TestRng) -> Self;
+
+        /// Proposes simpler variants of `value` (toward the type's
+        /// "smallest" value). Defaults to nothing.
+        fn shrink_value(value: &Self) -> Vec<Self> {
+            let _ = value;
+            Vec::new()
+        }
     }
 
     macro_rules! impl_arbitrary_int {
@@ -376,6 +460,12 @@ pub mod arbitrary {
             impl Arbitrary for $t {
                 fn arbitrary_value(rng: &mut TestRng) -> Self {
                     rng.next_u64() as $t
+                }
+                fn shrink_value(value: &Self) -> Vec<Self> {
+                    crate::strategy::shrink_int_toward(*value as i128, 0)
+                        .into_iter()
+                        .map(|x| x as $t)
+                        .collect()
                 }
             }
         )*};
@@ -385,6 +475,13 @@ pub mod arbitrary {
     impl Arbitrary for bool {
         fn arbitrary_value(rng: &mut TestRng) -> Self {
             rng.next_u64() & 1 == 1
+        }
+        fn shrink_value(value: &Self) -> Vec<Self> {
+            if *value {
+                vec![false]
+            } else {
+                Vec::new()
+            }
         }
     }
 
@@ -401,6 +498,9 @@ pub mod arbitrary {
         type Value = T;
         fn generate(&self, rng: &mut TestRng) -> Result<T, TestCaseError> {
             Ok(T::arbitrary_value(rng))
+        }
+        fn shrink(&self, value: &T) -> Vec<T> {
+            T::shrink_value(value)
         }
     }
 }
@@ -463,12 +563,36 @@ pub mod collection {
         size: SizeRange,
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Result<Vec<S::Value>, TestCaseError> {
             let span = (self.size.hi_inclusive - self.size.lo + 1) as u64;
             let len = self.size.lo + rng.below(span) as usize;
             (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            // Shorten first (a shorter counterexample beats a simpler
+            // element), halving toward the minimum length, then by one.
+            if value.len() > self.size.lo {
+                let half = (value.len() / 2).max(self.size.lo);
+                if half < value.len() - 1 {
+                    out.push(value[..half].to_vec());
+                }
+                out.push(value[..value.len() - 1].to_vec());
+            }
+            // Then shrink elements, one at a time.
+            for (i, v) in value.iter().enumerate() {
+                for cand in self.element.shrink(v) {
+                    let mut w = value.clone();
+                    w[i] = cand;
+                    out.push(w);
+                }
+            }
+            out
         }
     }
 }
@@ -592,69 +716,103 @@ macro_rules! __proptest_items {
         $(#[$meta])*
         fn $name() {
             let config = $config;
-            let mut rejects: u32 = 0;
-            let mut case: u64 = 0;
-            let mut passed: u32 = 0;
-            while passed < config.cases {
-                let mut rng = $crate::test_runner::TestRng::seed_from_u64(
-                    $crate::test_runner::seed_for(
-                        concat!(module_path!(), "::", stringify!($name)),
-                        case,
-                    ),
-                );
-                case += 1;
-                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
-                    (|| {
-                        $(
-                            let $pat = match $crate::strategy::Strategy::generate(
-                                &($strat),
-                                &mut rng,
-                            ) {
-                                ::core::result::Result::Ok(v) => v,
-                                ::core::result::Result::Err(e) => {
-                                    return ::core::result::Result::Err(e)
-                                }
-                            };
-                        )+
-                        $body
-                        #[allow(unreachable_code)]
-                        return ::core::result::Result::Ok(());
-                    })();
-                match outcome {
-                    ::core::result::Result::Ok(()) => passed += 1,
-                    ::core::result::Result::Err(
-                        $crate::test_runner::TestCaseError::Reject(reason),
-                    ) => {
-                        rejects += 1;
-                        if rejects > config.max_global_rejects {
-                            panic!(
-                                "proptest '{}': too many rejected cases ({}): {}",
-                                stringify!($name),
-                                rejects,
-                                reason
-                            );
-                        }
-                    }
-                    ::core::result::Result::Err(
-                        $crate::test_runner::TestCaseError::Fail(reason),
-                    ) => {
-                        panic!(
-                            "proptest '{}' failed at case #{}: {}",
-                            stringify!($name),
-                            case - 1,
-                            reason
-                        );
-                    }
-                }
-            }
+            $crate::__run_proptest(
+                concat!(module_path!(), "::", stringify!($name)),
+                &config,
+                ($($strat,)+),
+                |__vals| {
+                    let ($($pat,)+) = ::core::clone::Clone::clone(__vals);
+                    $body
+                    #[allow(unreachable_code)]
+                    return ::core::result::Result::Ok(());
+                },
+            );
         }
         $crate::__proptest_items! { ($config) $($rest)* }
     };
 }
 
+/// The case loop behind [`proptest!`]: generates `config.cases` passing
+/// cases, and on the first failure shrinks it via
+/// [`Strategy::shrink`](strategy::Strategy::shrink) before panicking
+/// with the minimal counterexample.
+#[doc(hidden)]
+pub fn __run_proptest<S: strategy::Strategy>(
+    name: &str,
+    config: &test_runner::ProptestConfig,
+    strategy: S,
+    run: impl Fn(&S::Value) -> Result<(), test_runner::TestCaseError>,
+) where
+    S::Value: Clone,
+{
+    use test_runner::{seed_for, TestCaseError, TestRng};
+    let mut rejects: u32 = 0;
+    let mut case: u64 = 0;
+    let mut passed: u32 = 0;
+    let reject = |rejects: &mut u32, reason: String| {
+        *rejects += 1;
+        if *rejects > config.max_global_rejects {
+            panic!("proptest '{name}': too many rejected cases ({rejects}): {reason}");
+        }
+    };
+    while passed < config.cases {
+        let mut rng = TestRng::seed_from_u64(seed_for(name, case));
+        case += 1;
+        let vals = match strategy.generate(&mut rng) {
+            Ok(v) => v,
+            Err(TestCaseError::Reject(reason)) => {
+                reject(&mut rejects, reason);
+                continue;
+            }
+            Err(TestCaseError::Fail(reason)) => {
+                panic!("proptest '{name}' failed at case #{}: {reason}", case - 1)
+            }
+        };
+        match run(&vals) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(reason)) => reject(&mut rejects, reason),
+            Err(TestCaseError::Fail(reason)) => {
+                let (minimal, min_reason, steps) = shrink_failure(&strategy, vals, reason, &run);
+                panic!(
+                    "proptest '{name}' failed at case #{}: {min_reason}\n\
+                     minimal failing input (after {steps} shrink steps): {minimal:?}",
+                    case - 1
+                );
+            }
+        }
+    }
+}
+
+/// Greedily walks [`Strategy::shrink`](strategy::Strategy::shrink)
+/// candidates as long as they keep failing, returning the last failing
+/// value, its failure message and the number of successful steps.
+fn shrink_failure<S: strategy::Strategy>(
+    strategy: &S,
+    mut current: S::Value,
+    mut reason: String,
+    run: &impl Fn(&S::Value) -> Result<(), test_runner::TestCaseError>,
+) -> (S::Value, String, usize) {
+    use test_runner::TestCaseError;
+    const MAX_STEPS: usize = 1_000;
+    let mut steps = 0;
+    'outer: while steps < MAX_STEPS {
+        for cand in strategy.shrink(&current) {
+            if let Err(TestCaseError::Fail(r)) = run(&cand) {
+                current = cand;
+                reason = r;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (current, reason, steps)
+}
+
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;
+    use crate::strategy::shrink_int_toward;
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
@@ -711,5 +869,93 @@ mod tests {
             }
         }
         inner();
+    }
+
+    // ---- shrinking ----
+
+    fn panic_message(f: impl FnOnce() + std::panic::UnwindSafe) -> String {
+        let err = std::panic::catch_unwind(f).expect_err("expected a panic");
+        match err.downcast::<String>() {
+            Ok(s) => *s,
+            Err(err) => err
+                .downcast::<&'static str>()
+                .expect("string payload")
+                .to_string(),
+        }
+    }
+
+    #[test]
+    fn integers_shrink_to_the_failure_threshold() {
+        let msg = panic_message(|| {
+            proptest! {
+                fn inner(n in 0u64..1000) {
+                    prop_assert!(n < 10, "n too big: {}", n);
+                }
+            }
+            inner();
+        });
+        assert!(msg.contains("minimal failing input"), "message: {msg}");
+        assert!(msg.contains("(10,)"), "not shrunk to the minimum: {msg}");
+    }
+
+    #[test]
+    fn vectors_shrink_in_length_and_elements() {
+        let msg = panic_message(|| {
+            proptest! {
+                fn inner(v in crate::collection::vec(0u64..100, 0..=8)) {
+                    prop_assert!(v.len() < 3, "too long: {:?}", v);
+                }
+            }
+            inner();
+        });
+        assert!(
+            msg.contains("([0, 0, 0],)"),
+            "not shrunk to the minimal vec: {msg}"
+        );
+    }
+
+    #[test]
+    fn range_shrink_halves_toward_the_low_end() {
+        use crate::strategy::Strategy as _;
+        let c = (5u32..100).shrink(&40);
+        assert_eq!(c, vec![5, 22, 39]);
+        assert!((5u32..100).shrink(&5).is_empty());
+        let c = (0i64..=100).shrink(&2);
+        assert_eq!(c, vec![0, 1]);
+    }
+
+    #[test]
+    fn signed_arbitrary_shrinks_toward_zero() {
+        assert_eq!(shrink_int_toward(-40, 0), vec![0, -20, -39]);
+        assert_eq!(shrink_int_toward(1, 0), vec![0]);
+        assert!(shrink_int_toward(0, 0).is_empty());
+    }
+
+    #[test]
+    fn filter_shrink_respects_the_predicate() {
+        use crate::strategy::Strategy as _;
+        let s = (0u64..100).prop_filter("even", |n| n % 2 == 0);
+        let c = s.shrink(&50);
+        assert!(!c.is_empty());
+        assert!(c.iter().all(|n| n % 2 == 0), "{c:?}");
+    }
+
+    #[test]
+    fn tuples_shrink_one_component_at_a_time() {
+        use crate::strategy::Strategy as _;
+        let s = (0u8..10, 0u8..10);
+        let c = s.shrink(&(4, 6));
+        assert!(c.contains(&(0, 6)));
+        assert!(c.contains(&(4, 0)));
+        assert!(c.iter().all(|&(a, b)| a == 4 || b == 6), "{c:?}");
+    }
+
+    #[test]
+    fn vec_shrink_never_goes_below_the_minimum_length() {
+        use crate::strategy::Strategy as _;
+        let s = crate::collection::vec(0u64..10, 2..=6);
+        for cand in s.shrink(&vec![3, 1, 4, 1, 5]) {
+            assert!(cand.len() >= 2, "{cand:?}");
+        }
     }
 }
