@@ -1,20 +1,12 @@
 //! Baseline GF(2^m) bit-parallel multiplier generators.
 //!
-//! The paper compares its proposed multiplier against four published
-//! architectures; this crate implements the gate-level constructions the
-//! comparison needs (all over the shared [`netlist`] IR, all verified
-//! against the [`gf2m`] software oracle):
+//! The three published architectures the paper's Table V compares
+//! against — [`MastrovitoPaar`] (\[2\]), [`Rashidi`] (\[8\]) and
+//! [`ReyhaniHasan`] (\[3\]) — now live in [`rgf2m_core::gen`] behind the
+//! unified [`rgf2m_core::Method`] registry, so a single enum covers the
+//! whole Table V row order. This crate re-exports them under their
+//! historical paths and keeps the two *extra-paper* references:
 //!
-//! * [`MastrovitoPaar`] — the product-matrix multiplier of Mastrovito as
-//!   refined by Paar (\[2\] in the paper): shared `a`-coordinate sums,
-//!   then one AND per matrix entry, then row XOR trees;
-//! * [`ReyhaniHasan`] — the low-complexity polynomial-basis multiplier
-//!   of Reyhani-Masoleh & Hasan (\[3\]): shared antidiagonal (`d_k`)
-//!   trees followed by the reduction network — `m²−1 + (reduction)` XOR
-//!   gates;
-//! * [`Rashidi`] — the bit-parallel variant of Rashidi, Farashahi &
-//!   Sayedi (\[8\]): per-coefficient *flattened* product supports summed
-//!   in perfectly balanced trees — the minimum-delay construction;
 //! * [`School`] — a deliberately naive two-step multiplier (chained
 //!   XOR accumulation) kept as a structural worst-case reference for
 //!   tests and ablations (not part of the paper's Table V);
@@ -41,15 +33,12 @@
 #![warn(missing_docs)]
 
 mod karatsuba;
-mod mastrovito;
-mod rashidi;
-mod reyhani;
 mod school;
-mod support;
 
 pub use karatsuba::Karatsuba;
-pub use mastrovito::MastrovitoPaar;
-pub use rashidi::Rashidi;
-pub use reyhani::ReyhaniHasan;
 pub use school::School;
-pub use support::coefficient_support;
+
+// Re-homed into the `rgf2m_core` registry (see `rgf2m_core::Method`);
+// re-exported here so downstream `rgf2m_baselines::*` imports keep
+// compiling during the migration.
+pub use rgf2m_core::{coefficient_support, MastrovitoPaar, Rashidi, ReyhaniHasan};

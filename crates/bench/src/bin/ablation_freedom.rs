@@ -15,7 +15,7 @@
 use rgf2m_bench::field_for;
 use rgf2m_core::{generate, Method};
 use rgf2m_fpga::map::MapMode;
-use rgf2m_fpga::{FpgaFlow, MapOptions};
+use rgf2m_fpga::{MapOptions, Pipeline};
 
 fn main() {
     println!("ABLATION — synthesis freedom (resynthesis × mapper mode)");
@@ -38,10 +38,12 @@ fn main() {
                 ("structural+free", false, MapMode::Free),
                 ("structural+fanout-pres.", false, MapMode::FanoutPreserving),
             ] {
-                let flow = FpgaFlow::new()
+                let pipeline = Pipeline::new()
                     .with_resynthesis(resynth)
                     .with_map_options(MapOptions::new().with_mode(mode));
-                let r = flow.run(&net);
+                let r = pipeline
+                    .run_report(&net)
+                    .unwrap_or_else(|e| panic!("({m},{n}) {label} {flow_label}: {e}"));
                 println!(
                     "  {:<12} {:<22} {:>6} {:>7} {:>6} {:>9.2}",
                     label, flow_label, r.luts, r.slices, r.depth, r.time_ns

@@ -8,8 +8,9 @@
 
 use gf2m::Field;
 use rgf2m_baselines::School;
-use rgf2m_bench::{field_for, table_v_generators};
+use rgf2m_bench::field_for;
 use rgf2m_core::gen::MultiplierGenerator;
+use rgf2m_core::Method;
 
 fn stats_line(name: &str, field: &Field, gen: &dyn MultiplierGenerator) {
     let s = gen.generate(field).stats();
@@ -33,11 +34,11 @@ fn main() {
             "  {:<22} {:>6} {:>6} {:>9} {:>11}",
             "method", "AND", "XOR", "delay", "max fanout"
         );
-        for g in table_v_generators() {
+        for method in Method::ALL {
             stats_line(
-                &format!("{} {}", g.citation(), g.name()),
+                &format!("{} {}", method.citation(), method.name()),
                 &field,
-                g.as_ref(),
+                method.generator().as_ref(),
             );
         }
         stats_line("(reference) school", &field, &School);

@@ -17,7 +17,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use rgf2m_bench::field_for;
+use rgf2m_bench::{arg_value, field_for};
 use rgf2m_core::{generate, Method};
 use rgf2m_fpga::map::{map_to_luts, MapOptions};
 use rgf2m_fpga::pack::pack_slices;
@@ -107,12 +107,6 @@ fn main() {
             );
         }
     }
-}
-
-fn arg_value(args: &[String], key: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == key)
-        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn render_json(

@@ -1,5 +1,7 @@
 //! Prints every table of the paper in sequence (Tables I–IV symbolic,
-//! Table V measured in `--quick` mode). The one-stop harness binary.
+//! Table V measured in `--quick` mode, via the registry-driven batch
+//! runner). The one-stop harness binary. For machine-readable Table V
+//! output, run `table5 --json PATH` directly.
 
 use std::process::Command;
 

@@ -4,62 +4,134 @@
 //! Artix-7 — see DESIGN.md §2).
 //!
 //! Usage:
-//!   table5             # all nine fields (20–40 minutes; use --release)
-//!   table5 --quick     # only (8,2) and (64,23) (~1 minute)
+//!   table5                 # all nine fields (minutes; use --release)
+//!   table5 --quick         # only (8,2) and (64,23) (~seconds)
+//!   table5 --only M,N      # a single field, e.g. --only 8,2
+//!   table5 --threads N     # batch worker threads (0 = all CPUs)
+//!   table5 --json PATH     # write the machine-readable report (JSON)
+//!   table5 --csv PATH      # write the machine-readable report (CSV)
 //!
-//! For every field the measured block is printed next to the paper's
-//! published numbers, followed by shape checks (who wins A×T, proposed
-//! vs \[7\]).
+//! The run fans (field × method) jobs over the parallel `BatchRunner`
+//! with deterministic per-job seeds: the printed numbers — and the
+//! exported JSON bytes — are identical run over run for a fixed base
+//! seed, whatever `--threads` says. For every field the measured block
+//! is printed next to the paper's published numbers, followed by shape
+//! checks (who wins A×T, proposed vs \[7\]).
 
 use rgf2m_bench::paper_data::PAPER_TABLE_V;
-use rgf2m_bench::{format_field_block, harness_flow, run_table_v_field, MeasuredRow};
+use rgf2m_bench::{
+    arg_value, format_field_block, rows_to_csv, rows_to_json, table_v_jobs, BatchRow, BatchRunner,
+    MeasuredRow,
+};
+use rgf2m_core::Method;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let flow = harness_flow();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let only: Option<(usize, usize)> = arg_value(&args, "--only").map(|v| {
+        let parts: Vec<usize> = v
+            .split(',')
+            .map(|t| t.trim().parse().expect("--only wants M,N"))
+            .collect();
+        assert_eq!(parts.len(), 2, "--only wants M,N");
+        (parts[0], parts[1])
+    });
+    let threads: usize = arg_value(&args, "--threads")
+        .map(|v| v.parse().expect("--threads wants an integer"))
+        .unwrap_or(1);
+
+    let fields: Vec<(usize, usize)> = PAPER_TABLE_V
+        .iter()
+        .map(|b| (b.m, b.n))
+        .filter(|&(m, n)| match only {
+            Some(pair) => (m, n) == pair,
+            None => !quick || matches!((m, n), (8, 2) | (64, 23)),
+        })
+        .collect();
+    assert!(!fields.is_empty(), "no Table V field matches the filters");
+
+    let runner = BatchRunner::new().with_threads(threads);
+    let jobs = table_v_jobs(&fields);
+    eprintln!(
+        "running {} jobs over {} field(s) ...",
+        jobs.len(),
+        fields.len()
+    );
+    let rows = runner.run_rows(&jobs);
+
     println!("TABLE V — COMPARISON OF GF(2^m) MULTIPLIERS");
     println!("(measured by the rgf2m-fpga flow; paper values from ISE 14.7 / Artix-7)");
     println!();
     let mut our_axt_wins_for_this_work = 0usize;
     let mut proposed_beats_paren = 0usize;
-    let mut fields_run = 0usize;
-    for block in &PAPER_TABLE_V {
-        if quick && !matches!((block.m, block.n), (8, 2) | (64, 23)) {
-            continue;
+    let mut failures = 0usize;
+    for (block_rows, &(m, n)) in rows.chunks(Method::ALL.len()).zip(&fields) {
+        let measured: Vec<MeasuredRow> = block_rows.iter().filter_map(measured_row).collect();
+        for row in block_rows {
+            if let Err(e) = &row.result {
+                failures += 1;
+                eprintln!("({m},{n}) {}: {e}", row.job.method.name());
+            }
         }
-        fields_run += 1;
-        eprintln!("running ({}, {}) ...", block.m, block.n);
-        let rows = run_table_v_field(block.m, block.n, &flow);
         println!("== measured ==");
-        print!("{}", format_field_block(block.m, block.n, &rows));
-        println!("== paper ==");
-        for p in &block.rows {
-            println!(
-                "  {:<10} {:>6} {:>7} {:>9.2} {:>11.2}",
-                p.citation,
-                p.luts,
-                p.slices,
-                p.time_ns,
-                p.area_time()
-            );
+        print!("{}", format_field_block(m, n, &measured));
+        if let Some(paper) = PAPER_TABLE_V.iter().find(|b| (b.m, b.n) == (m, n)) {
+            println!("== paper ==");
+            for p in &paper.rows {
+                println!(
+                    "  {:<10} {:>6} {:>7} {:>9.2} {:>11.2}",
+                    p.citation,
+                    p.luts,
+                    p.slices,
+                    p.time_ns,
+                    p.area_time()
+                );
+            }
         }
-        let winner = axt_winner(&rows);
+        let winner = axt_winner(&measured);
         println!("  measured A×T winner: {winner}");
         if winner == "This work" {
             our_axt_wins_for_this_work += 1;
         }
-        let paren = rows.iter().find(|r| r.citation == "[7]").unwrap();
-        let tw = rows.iter().find(|r| r.citation == "This work").unwrap();
-        if tw.area_time() < paren.area_time() {
-            proposed_beats_paren += 1;
+        let paren = measured.iter().find(|r| r.citation == "[7]");
+        let tw = measured.iter().find(|r| r.citation == "This work");
+        if let (Some(paren), Some(tw)) = (paren, tw) {
+            if tw.area_time() < paren.area_time() {
+                proposed_beats_paren += 1;
+            }
         }
         println!();
     }
+    let fields_run = fields.len();
     println!("shape summary over {fields_run} fields:");
     println!("  'This work' A×T wins: {our_axt_wins_for_this_work}/{fields_run} (paper: 7/9)");
     println!(
         "  proposed beats [7] (parenthesised) on A×T: {proposed_beats_paren}/{fields_run} (paper: 9/9)"
     );
+
+    if let Some(path) = arg_value(&args, "--json") {
+        std::fs::write(&path, rows_to_json(&rows, runner.base_seed()))
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("wrote JSON report to {path}");
+    }
+    if let Some(path) = arg_value(&args, "--csv") {
+        std::fs::write(&path, rows_to_csv(&rows))
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("wrote CSV report to {path}");
+    }
+    if failures > 0 {
+        eprintln!("{failures} job(s) failed");
+        std::process::exit(1);
+    }
+}
+
+fn measured_row(row: &BatchRow) -> Option<MeasuredRow> {
+    row.result.as_ref().ok().map(|r| MeasuredRow {
+        citation: row.job.method.citation(),
+        luts: r.luts,
+        slices: r.slices,
+        time_ns: r.time_ns,
+    })
 }
 
 fn axt_winner(rows: &[MeasuredRow]) -> &'static str {

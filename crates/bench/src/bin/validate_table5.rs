@@ -1,0 +1,37 @@
+//! Schema-validates a `rgf2m-table5/1` JSON artifact (as emitted by
+//! `table5 --json PATH`): schema tag, non-empty whole six-method blocks
+//! in the paper's row order, positive LUTs / slices / depth / ns on
+//! every row.
+//!
+//! Usage:
+//!   validate_table5 PATH    # exit 0 and print a summary, or exit 1
+//!
+//! CI runs the batch runner on GF(2^8) for all six methods and then
+//! this validator, so the machine-readable export can never silently
+//! rot.
+
+use rgf2m_bench::validate_table5_json;
+
+fn main() {
+    let path = match std::env::args().nth(1) {
+        Some(p) => p,
+        None => {
+            eprintln!("usage: validate_table5 PATH");
+            std::process::exit(2);
+        }
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("validate_table5: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match validate_table5_json(&text) {
+        Ok(summary) => println!("{path}: OK — {summary}"),
+        Err(e) => {
+            eprintln!("{path}: INVALID — {e}");
+            std::process::exit(1);
+        }
+    }
+}

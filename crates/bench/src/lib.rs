@@ -1,35 +1,36 @@
 //! Benchmark harness shared by the table-regeneration binaries and the
 //! Criterion benches.
 //!
-//! Contains the six Table V method generators in the paper's row order,
-//! the paper's published Table V numbers (for side-by-side comparison
-//! and shape checks), and the code that runs the full FPGA flow per
-//! field/method.
+//! The Table V method set comes from the unified registry
+//! ([`rgf2m_core::Method::ALL`], paper row order); this crate adds the
+//! paper's published numbers ([`paper_data`]), the per-field flow
+//! drivers, the parallel [`BatchRunner`] ([`batch`]) and the structured
+//! JSON/CSV report writers ([`report`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod paper_data;
+pub mod report;
 
 use gf2m::Field;
 use gf2poly::TypeIiPentanomial;
 use netlist::Netlist;
-use rgf2m_baselines::{MastrovitoPaar, Rashidi, ReyhaniHasan};
 use rgf2m_core::gen::MultiplierGenerator;
 use rgf2m_core::Method;
-use rgf2m_fpga::{FpgaFlow, ImplReport};
+use rgf2m_fpga::{FpgaFlow, ImplReport, Pipeline, PlaceOptions};
+
+pub use batch::{table_v_jobs, BatchRow, BatchRunner, Job};
+pub use report::{rows_to_csv, rows_to_json, validate_table5_json, TABLE5_SCHEMA};
 
 /// The six methods of the paper's Table V, in its row order:
 /// \[2\], \[8\], \[3\], \[6\], \[7\], This work.
+///
+/// Thin wrapper over the unified registry — [`Method::ALL`] is the
+/// source of truth; prefer iterating that directly in new code.
 pub fn table_v_generators() -> Vec<Box<dyn MultiplierGenerator>> {
-    vec![
-        Box::new(MastrovitoPaar),
-        Box::new(Rashidi),
-        Box::new(ReyhaniHasan),
-        Method::Imana2012.generator(),
-        Method::Imana2016.generator(),
-        Method::ProposedFlat.generator(),
-    ]
+    Method::ALL.iter().map(|m| m.generator()).collect()
 }
 
 /// One measured row of our Table V reproduction.
@@ -56,7 +57,9 @@ impl MeasuredRow {
 ///
 /// # Panics
 ///
-/// Panics if the pair is not a valid type II pentanomial.
+/// Panics if the pair is not a valid type II pentanomial. (The
+/// [`BatchRunner`] path reports invalid pairs as
+/// `Err(FlowError::InvalidOptions)` instead.)
 pub fn field_for(m: usize, n: usize) -> Field {
     Field::from_pentanomial(
         &TypeIiPentanomial::new(m, n)
@@ -70,15 +73,19 @@ pub fn generate_row_netlist(gen: &dyn MultiplierGenerator, field: &Field) -> Net
 }
 
 /// Runs the full FPGA flow for every method on one field.
+///
+/// Soft-deprecated: this is the legacy panicking path (invalid pairs
+/// and verification failures abort). Prefer [`BatchRunner::run_rows`]
+/// over [`table_v_jobs`], which reports per-job `FlowError`s instead.
 pub fn run_table_v_field(m: usize, n: usize, flow: &FpgaFlow) -> Vec<MeasuredRow> {
     let field = field_for(m, n);
-    table_v_generators()
+    Method::ALL
         .iter()
-        .map(|g| {
-            let net = g.generate(&field);
+        .map(|method| {
+            let net = method.generator().generate(&field);
             let report: ImplReport = flow.run(&net);
             MeasuredRow {
-                citation: g.citation(),
+                citation: method.citation(),
                 luts: report.luts,
                 slices: report.slices,
                 time_ns: report.time_ns,
@@ -111,10 +118,46 @@ pub fn format_field_block(m: usize, n: usize, rows: &[MeasuredRow]) -> String {
     s
 }
 
+/// Looks up the value following `key` in a CLI argument list (shared by
+/// the `table5` / `bench_place` binaries).
+pub fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// The annealing-proposal budget every harness run is pinned to. Equal
+/// to today's [`PlaceOptions::default`] budget, but pinned here on
+/// purpose: harness runs stay bounded (and their published numbers stay
+/// comparable) even if the library default ever grows.
+pub const HARNESS_MAX_TOTAL_MOVES: usize = 1_200_000;
+
+/// The placement seed harness runs are pinned to (the paper's year).
+pub const HARNESS_SEED: u64 = 2018;
+
+/// The placement options every harness flow/pipeline runs with:
+/// deterministic seed, exact bounded annealing budget.
+pub fn harness_place_options() -> PlaceOptions {
+    PlaceOptions {
+        seed: HARNESS_SEED,
+        max_total_moves: HARNESS_MAX_TOTAL_MOVES,
+        ..PlaceOptions::default()
+    }
+}
+
 /// A flow tuned for harness runs: deterministic, with a bounded
-/// annealing budget so the largest fields stay tractable.
+/// annealing budget ([`HARNESS_MAX_TOTAL_MOVES`], an exact proposal
+/// cap) so the largest fields stay tractable.
+///
+/// Soft-deprecated: prefer [`harness_pipeline`].
 pub fn harness_flow() -> FpgaFlow {
-    FpgaFlow::new()
+    FpgaFlow::new().with_place_options(harness_place_options())
+}
+
+/// The fallible [`Pipeline`] equivalent of [`harness_flow`]: same
+/// deterministic seed and exact bounded annealing budget.
+pub fn harness_pipeline() -> Pipeline {
+    Pipeline::new().with_place_options(harness_place_options())
 }
 
 #[cfg(test)]
@@ -126,6 +169,10 @@ mod tests {
         let gens = table_v_generators();
         let tags: Vec<&str> = gens.iter().map(|g| g.citation()).collect();
         assert_eq!(tags, ["[2]", "[8]", "[3]", "[6]", "[7]", "This work"]);
+        // The thin wrapper must agree with the registry item by item.
+        for (g, m) in gens.iter().zip(Method::ALL) {
+            assert_eq!(g.name(), m.name());
+        }
     }
 
     #[test]
@@ -138,6 +185,26 @@ mod tests {
         let block = format_field_block(8, 2, &rows);
         assert!(block.contains("This work"));
         assert!(block.contains("AxT"));
+    }
+
+    #[test]
+    fn harness_flow_is_pinned_to_the_documented_budget() {
+        // The doc contract: deterministic, with an exact bounded
+        // annealing budget. Pin the actual options so the doc can't
+        // silently rot again.
+        for opts in [
+            harness_flow().place_options().clone(),
+            harness_pipeline().place_options().clone(),
+        ] {
+            assert_eq!(opts.seed, HARNESS_SEED);
+            assert_eq!(opts.max_total_moves, HARNESS_MAX_TOTAL_MOVES);
+        }
+        // And the harness pipeline must otherwise match the flow shim.
+        let field = field_for(8, 2);
+        let net = rgf2m_core::generate(&field, Method::ProposedFlat);
+        let a = harness_flow().run(&net);
+        let b = harness_pipeline().run_report(&net).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -2,7 +2,8 @@
 
 use gf2m::{Field, MastrovitoMatrix};
 use netlist::Netlist;
-use rgf2m_core::gen::{MulCircuit, MultiplierGenerator};
+
+use crate::gen::{Method, MulCircuit, MultiplierGenerator};
 
 /// Generator for the Mastrovito product-matrix architecture as used by
 /// Paar (\[2\] in the paper).
@@ -24,11 +25,11 @@ pub struct MastrovitoPaar;
 
 impl MultiplierGenerator for MastrovitoPaar {
     fn name(&self) -> &'static str {
-        "mastrovito"
+        Method::MastrovitoPaar.name()
     }
 
     fn citation(&self) -> &'static str {
-        "[2]"
+        Method::MastrovitoPaar.citation()
     }
 
     fn generate(&self, field: &Field) -> Netlist {

@@ -2,9 +2,9 @@
 
 use gf2m::Field;
 use netlist::Netlist;
-use rgf2m_core::gen::{MulCircuit, MultiplierGenerator};
 
-use crate::support::coefficient_support;
+use crate::gen::support::coefficient_support;
+use crate::gen::{Method, MulCircuit, MultiplierGenerator};
 
 /// Generator for the bit-parallel version of the low-time-complexity
 /// multiplier of Rashidi, Farashahi & Sayedi (\[8\] in the paper).
@@ -21,11 +21,11 @@ pub struct Rashidi;
 
 impl MultiplierGenerator for Rashidi {
     fn name(&self) -> &'static str {
-        "rashidi"
+        Method::Rashidi.name()
     }
 
     fn citation(&self) -> &'static str {
-        "[8]"
+        Method::Rashidi.citation()
     }
 
     fn generate(&self, field: &Field) -> Netlist {
@@ -78,7 +78,7 @@ mod tests {
 
     #[test]
     fn depth_is_minimal_among_all_methods_gf256() {
-        use rgf2m_core::{generate, Method};
+        use crate::{generate, Method};
         let field = gf256();
         let rashidi_depth = Rashidi.generate(&field).depth().xors;
         for method in Method::ALL {

@@ -2,8 +2,9 @@
 
 use gf2m::Field;
 use netlist::Netlist;
-use rgf2m_core::gen::{MulCircuit, MultiplierGenerator};
-use rgf2m_core::terms::d_terms;
+
+use crate::gen::{Method, MulCircuit, MultiplierGenerator};
+use crate::terms::d_terms;
 
 /// Generator for the low-complexity polynomial-basis architecture of
 /// Reyhani-Masoleh & Hasan (\[3\] in the paper).
@@ -27,11 +28,11 @@ pub struct ReyhaniHasan;
 
 impl MultiplierGenerator for ReyhaniHasan {
     fn name(&self) -> &'static str {
-        "reyhani_hasan"
+        Method::ReyhaniHasan.name()
     }
 
     fn citation(&self) -> &'static str {
-        "[3]"
+        Method::ReyhaniHasan.citation()
     }
 
     fn generate(&self, field: &Field) -> Netlist {

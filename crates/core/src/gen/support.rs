@@ -16,7 +16,7 @@ use gf2m::Field;
 /// ```
 /// use gf2m::Field;
 /// use gf2poly::TypeIiPentanomial;
-/// use rgf2m_baselines::coefficient_support;
+/// use rgf2m_core::coefficient_support;
 ///
 /// let field = Field::from_pentanomial(&TypeIiPentanomial::new(8, 2)?);
 /// // c_7 = d_7 + T_3 + T_4 + T_5: 8 + 4 + 3 + 2 = 17 products.

@@ -17,10 +17,14 @@
 //!   introduced in \[7\];
 //! * reduction by the field modulus turns each product coordinate into
 //!   `c_k = S_{k+1} + Σ R[k][i]·T_i` (module [`coeffs`], Tables I/IV);
-//! * three circuit generators turn those expressions into gate-level
-//!   netlists (module [`gen`]): the monolithic method of \[6\], the
-//!   parenthesised same-level pairing of \[7\], and **this paper's flat
-//!   method** that leaves restructuring to the synthesis tool.
+//! * circuit generators turn those expressions into gate-level netlists
+//!   (module [`gen`]): the monolithic method of \[6\], the parenthesised
+//!   same-level pairing of \[7\], and **this paper's flat method** that
+//!   leaves restructuring to the synthesis tool — plus the three
+//!   published baselines the paper compares against (\[2\] Mastrovito /
+//!   Paar, \[8\] Rashidi et al., \[3\] Reyhani-Masoleh & Hasan), so
+//!   [`Method::ALL`] is the complete Table V registry in the paper's
+//!   row order.
 //!
 //! # Examples
 //!
@@ -48,7 +52,10 @@ pub mod split;
 pub mod terms;
 
 pub use coeffs::{CoefficientTable, FlatCoefficientTable};
-pub use gen::{generate, Method, MultiplierGenerator};
+pub use gen::{
+    coefficient_support, generate, Imana2012, Imana2016, MastrovitoPaar, Method,
+    MultiplierGenerator, ProposedFlat, Rashidi, ReyhaniHasan,
+};
 pub use sit::SiTi;
 pub use split::{AtomKind, SplitAtom};
 pub use terms::ProductTerm;

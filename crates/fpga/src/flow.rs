@@ -1,5 +1,11 @@
-//! The end-to-end implementation flow: DCE → map → verify → pack →
-//! place → time → report.
+//! The historical end-to-end flow facade, now a thin shim over
+//! [`crate::Pipeline`].
+//!
+//! New code should use [`crate::Pipeline`] directly: it returns
+//! `Result<FlowArtifacts, FlowError>` instead of panicking, exposes the
+//! individual stages, and memoizes artifacts per design. `FpgaFlow` is
+//! kept (soft-deprecated) so existing callers migrate gradually — see
+//! the "Upgrading" section of the repository README.
 
 use std::fmt;
 
@@ -7,13 +13,14 @@ use netlist::Netlist;
 
 use crate::device::Device;
 use crate::lut::LutNetlist;
-use crate::map::{map_to_luts, verify_mapping, MapOptions};
-use crate::pack::{pack_slices, Packing};
-use crate::place::{place, PlaceOptions, Placement};
-use crate::timing::{analyze, TimingReport};
+use crate::map::MapOptions;
+use crate::pack::Packing;
+use crate::pipeline::Pipeline;
+use crate::place::{PlaceOptions, Placement};
+use crate::timing::TimingReport;
 
 /// The quadruple the paper reports per design in Table V, plus context.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ImplReport {
     /// Design name.
     pub name: String,
@@ -64,13 +71,13 @@ pub struct FlowArtifacts {
     pub report: ImplReport,
 }
 
-/// The end-to-end FPGA implementation flow.
+/// The legacy end-to-end flow facade (soft-deprecated).
 ///
-/// Owns a [`Device`] model, [`MapOptions`] and [`PlaceOptions`]; running
-/// it on a gate netlist performs dead-code elimination, technology
-/// mapping (re-verified against the source netlist on random vectors —
-/// a mapping that changes functionality is a hard error), slice packing,
-/// simulated-annealing placement and static timing.
+/// Holds the same configuration as [`Pipeline`] and delegates to it;
+/// the only behavioural difference is the historical contract that
+/// verification failure **panics** instead of returning an error, and
+/// that no artifact cache is kept between calls. Prefer [`Pipeline`]
+/// in new code.
 ///
 /// # Examples
 ///
@@ -161,55 +168,46 @@ impl FpgaFlow {
         &self.device
     }
 
+    /// The placement options in use.
+    pub fn place_options(&self) -> &PlaceOptions {
+        &self.place_options
+    }
+
+    /// The equivalent [`Pipeline`] for this configuration (fresh cache).
+    ///
+    /// This is the upgrade path: everything `run`/`run_detailed` did is
+    /// `self.pipeline().run(&net)` with a `Result` instead of panics.
+    pub fn pipeline(&self) -> Pipeline {
+        Pipeline::new()
+            .with_device(self.device.clone())
+            .with_map_options(self.map_options.clone())
+            .with_place_options(self.place_options.clone())
+            .with_verify_rounds(self.verify_rounds)
+            .with_resynthesis(self.resynthesize)
+    }
+
     /// Runs the flow, returning the Table V-style summary.
+    ///
+    /// Soft-deprecated: prefer [`Pipeline::run_report`].
     ///
     /// # Panics
     ///
-    /// Panics if post-mapping verification fails (an internal invariant:
-    /// the mapper must preserve functionality).
+    /// Panics if any pipeline stage fails (e.g. post-mapping
+    /// verification); [`Pipeline::run`] returns those as errors.
     pub fn run(&self, net: &Netlist) -> ImplReport {
         self.run_detailed(net).report
     }
 
     /// Runs the flow and returns every intermediate artifact.
     ///
+    /// Soft-deprecated: prefer [`Pipeline::run`].
+    ///
     /// # Panics
     ///
-    /// Panics if post-mapping verification fails.
+    /// Panics if any pipeline stage fails (e.g. post-mapping
+    /// verification); [`Pipeline::run`] returns those as errors.
     pub fn run_detailed(&self, net: &Netlist) -> FlowArtifacts {
-        let clean = net.eliminate_dead_code();
-        let synth = if self.resynthesize {
-            crate::resynth::rebalance_xors(&clean, self.map_options.k)
-        } else {
-            clean.clone()
-        };
-        let mapped = map_to_luts(&synth, &self.map_options);
-        if self.verify_rounds > 0 {
-            // Verify against the *pre-resynthesis* netlist so both the
-            // resynthesiser and the mapper are covered by the check.
-            assert!(
-                verify_mapping(&clean, &mapped, self.verify_rounds, 0xC0FFEE),
-                "synthesis flow changed the function of {}",
-                net.name()
-            );
-        }
-        let packing = pack_slices(&mapped, self.device.luts_per_slice);
-        let placement = place(&mapped, &packing, &self.place_options);
-        let timing = analyze(&mapped, &packing, &placement, &self.device);
-        let report = ImplReport {
-            name: net.name().to_string(),
-            luts: mapped.num_luts(),
-            slices: packing.num_slices(),
-            depth: mapped.depth(),
-            time_ns: timing.critical_ns,
-        };
-        FlowArtifacts {
-            mapped,
-            packing,
-            placement,
-            timing,
-            report,
-        }
+        self.pipeline().run(net).unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -250,6 +248,15 @@ mod tests {
         assert_eq!(r1.luts, r2.luts);
         assert_eq!(r1.slices, r2.slices);
         assert_eq!(r1.time_ns, r2.time_ns);
+    }
+
+    #[test]
+    fn shim_agrees_with_its_own_pipeline() {
+        let net = xor_tree(24);
+        let flow = FpgaFlow::new().with_place_threads(2);
+        let legacy = flow.run(&net);
+        let piped = flow.pipeline().run_report(&net).unwrap();
+        assert_eq!(legacy, piped);
     }
 
     #[test]

@@ -21,14 +21,17 @@
 //!    grid;
 //! 5. [`timing`] — static timing with IOB, LUT, fanout and wire-length
 //!    dependent net delays;
-//! 6. [`flow`] — the end-to-end [`flow::FpgaFlow`] producing the
-//!    LUTs / Slices / ns / A×T quadruple of the paper's Table V.
+//! 6. [`pipeline`] — the end-to-end [`pipeline::Pipeline`]: fallible
+//!    (`Result<FlowArtifacts, FlowError>`), staged, and memoized per
+//!    input design, producing the LUTs / Slices / ns / A×T quadruple of
+//!    the paper's Table V ([`flow::FpgaFlow`] remains as a
+//!    soft-deprecated panicking shim).
 //!
 //! # Examples
 //!
 //! ```
 //! use netlist::Netlist;
-//! use rgf2m_fpga::flow::FpgaFlow;
+//! use rgf2m_fpga::Pipeline;
 //!
 //! let mut net = Netlist::new("xor3");
 //! let a = net.input("a");
@@ -38,9 +41,10 @@
 //! let abc = net.xor(ab, c);
 //! net.output("y", abc);
 //!
-//! let report = FpgaFlow::new().run(&net);
+//! let report = Pipeline::new().run_report(&net)?;
 //! assert_eq!(report.luts, 1);          // a 3-input XOR fits one LUT6
 //! assert!(report.time_ns > 0.0);
+//! # Ok::<(), rgf2m_fpga::FlowError>(())
 //! ```
 
 #![forbid(unsafe_code)]
@@ -51,12 +55,14 @@ pub mod flow;
 pub mod lut;
 pub mod map;
 pub mod pack;
+pub mod pipeline;
 pub mod place;
 pub mod resynth;
 pub mod timing;
 
 pub use device::Device;
-pub use flow::{FpgaFlow, ImplReport};
+pub use flow::{FlowArtifacts, FpgaFlow, ImplReport};
 pub use lut::LutNetlist;
 pub use map::{MapMode, MapOptions};
+pub use pipeline::{FlowError, Pipeline};
 pub use place::{PlaceOptions, PlaceStats};

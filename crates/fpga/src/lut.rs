@@ -87,6 +87,18 @@ impl LutNetlist {
         &self.input_names
     }
 
+    /// Replaces LUT `lut`'s truth table — deliberate fault injection,
+    /// so tests can prove the flow's re-verification stage catches a
+    /// mapped netlist whose function drifted (see
+    /// [`crate::Pipeline::verify`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lut` is out of range.
+    pub fn set_truth(&mut self, lut: u32, truth: u64) {
+        self.luts[lut as usize].truth = truth;
+    }
+
     /// Primary outputs.
     pub fn outputs(&self) -> &[(String, Signal)] {
         &self.outputs

@@ -1,0 +1,657 @@
+//! The fallible, cacheable implementation pipeline.
+//!
+//! [`Pipeline`] is the primary entry point of this crate: the same
+//! resynth → map → verify → pack → place → time flow as the historical
+//! [`crate::flow::FpgaFlow`], but
+//!
+//! * **fallible** — every stage returns `Result<_, FlowError>` instead
+//!   of panicking, so batch drivers can keep going when one design
+//!   fails to verify or fit;
+//! * **staged** — each stage is an individually-runnable, inspectable
+//!   method ([`Pipeline::resynth`], [`Pipeline::map`],
+//!   [`Pipeline::verify`], [`Pipeline::pack`], [`Pipeline::place`],
+//!   [`Pipeline::time`]), which is also what makes fault injection
+//!   possible (corrupt a mapped netlist, then call `verify`);
+//! * **memoized** — [`Pipeline::run`] caches [`FlowArtifacts`] keyed by
+//!   a stable content hash of the input netlist plus an options
+//!   fingerprint, so re-running the same design through the same
+//!   pipeline is ~free (see [`Pipeline::cache_hits`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use netlist::Netlist;
+//! use rgf2m_fpga::Pipeline;
+//!
+//! let mut net = Netlist::new("maj");
+//! let a = net.input("a");
+//! let b = net.input("b");
+//! let c = net.input("c");
+//! let ab = net.and(a, b);
+//! let bc = net.and(b, c);
+//! let ca = net.and(c, a);
+//! let x = net.xor(ab, bc);
+//! let y = net.xor(x, ca);
+//! net.output("maj", y);
+//!
+//! let pipeline = Pipeline::new();
+//! let artifacts = pipeline.run(&net)?;
+//! assert_eq!(artifacts.report.luts, 1);
+//! let again = pipeline.run(&net)?; // memoized: no recomputation
+//! assert_eq!(pipeline.cache_hits(), 1);
+//! assert_eq!(again.report.time_ns, artifacts.report.time_ns);
+//! # Ok::<(), rgf2m_fpga::FlowError>(())
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use netlist::{Fnv1a, Netlist};
+
+use crate::device::Device;
+use crate::flow::{FlowArtifacts, ImplReport};
+use crate::lut::LutNetlist;
+use crate::map::{map_to_luts, verify_mapping, MapMode, MapOptions};
+use crate::pack::{pack_slices, Packing};
+use crate::place::{place, PlaceOptions, Placement};
+use crate::timing::{analyze, TimingReport};
+
+/// Everything that can go wrong in the implementation pipeline.
+///
+/// The pipeline never panics on bad input: invalid configurations are
+/// rejected up front, a mapping that changes functionality is reported
+/// as [`FlowError::VerificationMismatch`], and a design that exceeds
+/// the configured slice capacity as [`FlowError::Unplaceable`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FlowError {
+    /// Post-mapping re-verification found the mapped netlist computing
+    /// a different function than the source design (or its interface no
+    /// longer matches). `rounds = 0` means the interface itself
+    /// mismatched before any vectors ran.
+    VerificationMismatch {
+        /// The design name.
+        design: String,
+        /// Verification rounds configured when the mismatch surfaced.
+        rounds: usize,
+    },
+    /// The packed design needs more slices than the pipeline's
+    /// configured capacity (see [`Pipeline::with_max_slices`]).
+    Unplaceable {
+        /// The design name.
+        design: String,
+        /// Slices the packed design needs.
+        slices: usize,
+        /// Slices available.
+        capacity: usize,
+    },
+    /// The pipeline configuration itself is unusable (LUT width out of
+    /// `1..=6`, zero priority cuts, a degenerate device model, an
+    /// invalid field/job description...).
+    InvalidOptions(String),
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::VerificationMismatch { design, rounds } => {
+                if *rounds == 0 {
+                    write!(f, "synthesis flow changed the interface of {design}")
+                } else {
+                    write!(
+                        f,
+                        "synthesis flow changed the function of {design} \
+                         (caught within {rounds} x 64 random vectors)"
+                    )
+                }
+            }
+            FlowError::Unplaceable {
+                design,
+                slices,
+                capacity,
+            } => write!(
+                f,
+                "{design} is unplaceable: needs {slices} slices, device capacity is {capacity}"
+            ),
+            FlowError::InvalidOptions(msg) => write!(f, "invalid flow options: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+/// The fallible, staged, memoizing implementation pipeline.
+///
+/// Construction mirrors the old [`crate::flow::FpgaFlow`] builder; the
+/// behavioural differences are the `Result` returns and the artifact
+/// cache (shared across `&self`, so one `Pipeline` can be driven from
+/// many threads).
+#[derive(Debug)]
+pub struct Pipeline {
+    device: Device,
+    map_options: MapOptions,
+    place_options: PlaceOptions,
+    verify_rounds: usize,
+    resynthesize: bool,
+    max_slices: Option<usize>,
+    cache: Mutex<HashMap<CacheKey, Arc<FlowArtifacts>>>,
+    hits: AtomicUsize,
+}
+
+/// Memoization key: (netlist content hash, options fingerprint), kept
+/// as the full 128-bit pair rather than a re-hashed composite. A
+/// design-name check on every hit additionally catches collisions
+/// between differently-named designs; same-name collisions remain
+/// theoretically possible at ~2^-64 per pair. The cache has no
+/// eviction — long-lived pipelines over many large designs should call
+/// [`Pipeline::clear_cache`] between batches.
+type CacheKey = (u64, u64);
+
+impl Pipeline {
+    /// A pipeline with the default Artix-7 device and default options
+    /// (resynthesis enabled — the XST-like behaviour), no slice-capacity
+    /// limit, and an empty artifact cache.
+    pub fn new() -> Self {
+        Pipeline {
+            device: Device::artix7(),
+            map_options: MapOptions::new(),
+            place_options: PlaceOptions::default(),
+            verify_rounds: 4,
+            resynthesize: true,
+            max_slices: None,
+            cache: Mutex::new(HashMap::new()),
+            hits: AtomicUsize::new(0),
+        }
+    }
+
+    /// Enables or disables the XOR-cluster resynthesis pass.
+    pub fn with_resynthesis(mut self, on: bool) -> Self {
+        self.resynthesize = on;
+        self
+    }
+
+    /// Replaces the device model.
+    pub fn with_device(mut self, device: Device) -> Self {
+        self.device = device;
+        self
+    }
+
+    /// Replaces the mapping options.
+    pub fn with_map_options(mut self, opts: MapOptions) -> Self {
+        self.map_options = opts;
+        self
+    }
+
+    /// Replaces the placement options.
+    pub fn with_place_options(mut self, opts: PlaceOptions) -> Self {
+        self.place_options = opts;
+        self
+    }
+
+    /// Sets the number of annealing worker threads for placement
+    /// (`1` = sequential; see [`PlaceOptions::threads`]).
+    pub fn with_place_threads(mut self, threads: usize) -> Self {
+        self.place_options.threads = threads;
+        self
+    }
+
+    /// Sets the placement RNG seed (see [`PlaceOptions::seed`]).
+    pub fn with_place_seed(mut self, seed: u64) -> Self {
+        self.place_options.seed = seed;
+        self
+    }
+
+    /// Sets the number of 64-lane random verification rounds after
+    /// mapping (0 disables re-verification).
+    pub fn with_verify_rounds(mut self, rounds: usize) -> Self {
+        self.verify_rounds = rounds;
+        self
+    }
+
+    /// Caps the slice count a design may occupy; packing a design past
+    /// this returns [`FlowError::Unplaceable`]. `None` (the default)
+    /// models an unbounded fabric.
+    pub fn with_max_slices(mut self, max: Option<usize>) -> Self {
+        self.max_slices = max;
+        self
+    }
+
+    /// The device model in use.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// The mapping options in use.
+    pub fn map_options(&self) -> &MapOptions {
+        &self.map_options
+    }
+
+    /// The placement options in use.
+    pub fn place_options(&self) -> &PlaceOptions {
+        &self.place_options
+    }
+
+    /// The configured post-mapping verification rounds.
+    pub fn verify_rounds(&self) -> usize {
+        self.verify_rounds
+    }
+
+    /// Whether the resynthesis pass is enabled.
+    pub fn resynthesis(&self) -> bool {
+        self.resynthesize
+    }
+
+    /// The configured slice capacity, if any.
+    pub fn max_slices(&self) -> Option<usize> {
+        self.max_slices
+    }
+
+    /// Validates the configuration; every stage calls this first so no
+    /// bad option can reach a downstream `assert!`.
+    pub fn validate(&self) -> Result<(), FlowError> {
+        if !(1..=6).contains(&self.map_options.k) {
+            return Err(FlowError::InvalidOptions(format!(
+                "LUT width k = {} outside 1..=6",
+                self.map_options.k
+            )));
+        }
+        if self.map_options.cuts_per_node == 0 {
+            return Err(FlowError::InvalidOptions(
+                "cuts_per_node must be at least 1".into(),
+            ));
+        }
+        if self.device.luts_per_slice == 0 {
+            return Err(FlowError::InvalidOptions(
+                "device must hold at least one LUT per slice".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Stage 0: dead-code elimination plus (if enabled) XOR-cluster
+    /// resynthesis. The output is what [`Pipeline::map`] should consume.
+    pub fn resynth(&self, net: &Netlist) -> Result<Netlist, FlowError> {
+        self.validate()?;
+        let clean = net.eliminate_dead_code();
+        Ok(if self.resynthesize {
+            crate::resynth::rebalance_xors(&clean, self.map_options.k)
+        } else {
+            clean
+        })
+    }
+
+    /// Stage 1: priority-cuts k-LUT technology mapping.
+    pub fn map(&self, synth: &Netlist) -> Result<LutNetlist, FlowError> {
+        self.validate()?;
+        Ok(map_to_luts(synth, &self.map_options))
+    }
+
+    /// Stage 2: re-verifies `mapped` against the *source* netlist
+    /// `reference` on random vectors (covering resynthesis and mapping
+    /// together). A mismatch — functional or interface — is an error,
+    /// never a panic.
+    pub fn verify(&self, reference: &Netlist, mapped: &LutNetlist) -> Result<(), FlowError> {
+        self.validate()?;
+        if mapped.input_names().len() != reference.num_inputs()
+            || mapped.outputs().len() != reference.outputs().len()
+        {
+            return Err(FlowError::VerificationMismatch {
+                design: reference.name().to_string(),
+                rounds: 0,
+            });
+        }
+        if self.verify_rounds > 0
+            && !verify_mapping(reference, mapped, self.verify_rounds, 0xC0FFEE)
+        {
+            return Err(FlowError::VerificationMismatch {
+                design: reference.name().to_string(),
+                rounds: self.verify_rounds,
+            });
+        }
+        Ok(())
+    }
+
+    /// Stage 3: slice packing, checked against the configured capacity.
+    pub fn pack(&self, mapped: &LutNetlist) -> Result<Packing, FlowError> {
+        self.validate()?;
+        let packing = pack_slices(mapped, self.device.luts_per_slice);
+        if let Some(cap) = self.max_slices {
+            if packing.num_slices() > cap {
+                return Err(FlowError::Unplaceable {
+                    design: mapped.name().to_string(),
+                    slices: packing.num_slices(),
+                    capacity: cap,
+                });
+            }
+        }
+        Ok(packing)
+    }
+
+    /// Stage 4: simulated-annealing placement.
+    pub fn place(&self, mapped: &LutNetlist, packing: &Packing) -> Result<Placement, FlowError> {
+        self.validate()?;
+        Ok(place(mapped, packing, &self.place_options))
+    }
+
+    /// Stage 5: static timing analysis (infallible once placed).
+    pub fn time(
+        &self,
+        mapped: &LutNetlist,
+        packing: &Packing,
+        placement: &Placement,
+    ) -> TimingReport {
+        analyze(mapped, packing, placement, &self.device)
+    }
+
+    /// Runs the whole pipeline, returning every intermediate artifact.
+    ///
+    /// Results are memoized per (netlist content hash, options
+    /// fingerprint): running the same design through the same pipeline
+    /// again returns a clone of the cached artifacts without redoing
+    /// any work.
+    pub fn run(&self, net: &Netlist) -> Result<FlowArtifacts, FlowError> {
+        self.run_cached(net).map(|a| (*a).clone())
+    }
+
+    /// Runs the whole pipeline and returns just the Table V-style
+    /// summary (on a cache hit this copies only the 5-field report, not
+    /// the full artifact set).
+    pub fn run_report(&self, net: &Netlist) -> Result<ImplReport, FlowError> {
+        self.run_cached(net).map(|a| a.report.clone())
+    }
+
+    /// The memoized core of [`Pipeline::run`]: returns a shared handle
+    /// to the cached artifacts, computing them on a miss. Clones taken
+    /// from the handle happen outside the cache lock.
+    fn run_cached(&self, net: &Netlist) -> Result<Arc<FlowArtifacts>, FlowError> {
+        self.validate()?;
+        let key = self.cache_key(net);
+        if let Some(hit) = self
+            .cache
+            .lock()
+            .expect("pipeline cache poisoned")
+            .get(&key)
+            .filter(|hit| hit.report.name == net.name())
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(hit));
+        }
+        let synth = self.resynth(net)?;
+        let mapped = self.map(&synth)?;
+        self.verify(net, &mapped)?;
+        let packing = self.pack(&mapped)?;
+        let placement = self.place(&mapped, &packing)?;
+        let timing = self.time(&mapped, &packing, &placement);
+        let report = ImplReport {
+            name: net.name().to_string(),
+            luts: mapped.num_luts(),
+            slices: packing.num_slices(),
+            depth: mapped.depth(),
+            time_ns: timing.critical_ns,
+        };
+        let artifacts = Arc::new(FlowArtifacts {
+            mapped,
+            packing,
+            placement,
+            timing,
+            report,
+        });
+        self.cache
+            .lock()
+            .expect("pipeline cache poisoned")
+            .insert(key, Arc::clone(&artifacts));
+        Ok(artifacts)
+    }
+
+    /// Number of memoized designs currently in the cache.
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().expect("pipeline cache poisoned").len()
+    }
+
+    /// Number of [`Pipeline::run`] calls served from the cache.
+    pub fn cache_hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Drops every memoized artifact (the hit counter is kept).
+    pub fn clear_cache(&self) {
+        self.cache.lock().expect("pipeline cache poisoned").clear();
+    }
+
+    /// A fresh pipeline with the same configuration but an **empty**
+    /// cache — cheaper than [`Clone`] (which deep-copies every cached
+    /// artifact), for callers that fan a template out per job with
+    /// different seeds.
+    pub fn clone_config(&self) -> Pipeline {
+        Pipeline {
+            device: self.device.clone(),
+            map_options: self.map_options.clone(),
+            place_options: self.place_options.clone(),
+            verify_rounds: self.verify_rounds,
+            resynthesize: self.resynthesize,
+            max_slices: self.max_slices,
+            cache: Mutex::new(HashMap::new()),
+            hits: AtomicUsize::new(0),
+        }
+    }
+
+    /// A stable fingerprint of every option that affects results; part
+    /// of the memoization key.
+    pub fn options_fingerprint(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_usize(self.device.lut_inputs);
+        h.write_usize(self.device.luts_per_slice);
+        for t in [
+            self.device.t_ibuf_ns,
+            self.device.t_obuf_ns,
+            self.device.t_lut_ns,
+            self.device.t_net_ns,
+            self.device.t_net_per_unit_ns,
+            self.device.t_net_per_fanout_ns,
+        ] {
+            h.write_f64(t);
+        }
+        h.write_usize(self.map_options.k);
+        h.write_usize(self.map_options.cuts_per_node);
+        h.write_u64(match self.map_options.mode {
+            MapMode::Free => 0,
+            MapMode::FanoutPreserving => 1,
+        });
+        h.write_u64(self.place_options.seed);
+        h.write_usize(self.place_options.moves_factor);
+        h.write_usize(self.place_options.max_total_moves);
+        h.write_usize(self.place_options.threads);
+        h.write_usize(self.verify_rounds);
+        h.write_u64(u64::from(self.resynthesize));
+        match self.max_slices {
+            None => h.write_u64(0),
+            Some(cap) => {
+                h.write_u64(1);
+                h.write_usize(cap);
+            }
+        }
+        h.finish()
+    }
+
+    fn cache_key(&self, net: &Netlist) -> CacheKey {
+        (net.content_hash(), self.options_fingerprint())
+    }
+}
+
+impl Default for Pipeline {
+    fn default() -> Self {
+        Pipeline::new()
+    }
+}
+
+impl Clone for Pipeline {
+    /// Clones configuration *and* the memoized artifacts (cheap: the
+    /// artifacts are shared by reference; the hit counter restarts at
+    /// zero).
+    fn clone(&self) -> Self {
+        Pipeline {
+            device: self.device.clone(),
+            map_options: self.map_options.clone(),
+            place_options: self.place_options.clone(),
+            verify_rounds: self.verify_rounds,
+            resynthesize: self.resynthesize,
+            max_slices: self.max_slices,
+            cache: Mutex::new(self.cache.lock().expect("pipeline cache poisoned").clone()),
+            hits: AtomicUsize::new(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_tree(leaves: usize) -> Netlist {
+        let mut net = Netlist::new(format!("xor{leaves}"));
+        let ins: Vec<_> = (0..leaves).map(|i| net.input(format!("x{i}"))).collect();
+        let root = net.xor_balanced(&ins);
+        net.output("y", root);
+        net
+    }
+
+    #[test]
+    fn pipeline_matches_legacy_flow_results() {
+        let net = xor_tree(48);
+        let legacy = crate::flow::FpgaFlow::new().run(&net);
+        let report = Pipeline::new().run_report(&net).unwrap();
+        assert_eq!(report.luts, legacy.luts);
+        assert_eq!(report.slices, legacy.slices);
+        assert_eq!(report.depth, legacy.depth);
+        assert_eq!(report.time_ns, legacy.time_ns);
+    }
+
+    #[test]
+    fn cache_serves_repeat_runs() {
+        let net = xor_tree(32);
+        let p = Pipeline::new();
+        let first = p.run(&net).unwrap();
+        assert_eq!(p.cache_hits(), 0);
+        assert_eq!(p.cache_len(), 1);
+        let second = p.run(&net).unwrap();
+        assert_eq!(p.cache_hits(), 1);
+        assert_eq!(p.cache_len(), 1);
+        assert_eq!(first.report.time_ns, second.report.time_ns);
+        // A structurally different design is a different key.
+        let other = xor_tree(33);
+        p.run(&other).unwrap();
+        assert_eq!(p.cache_len(), 2);
+    }
+
+    #[test]
+    fn changed_options_change_the_cache_key() {
+        let net = xor_tree(32);
+        let a = Pipeline::new();
+        let b = Pipeline::new().with_resynthesis(false);
+        assert_ne!(a.cache_key(&net), b.cache_key(&net));
+        let c = Pipeline::new().with_place_seed(777);
+        assert_ne!(a.cache_key(&net), c.cache_key(&net));
+    }
+
+    #[test]
+    fn invalid_lut_width_is_an_error_not_a_panic() {
+        let net = xor_tree(8);
+        let p = Pipeline::new().with_map_options(MapOptions {
+            k: 9,
+            cuts_per_node: 8,
+            mode: MapMode::Free,
+        });
+        match p.run(&net) {
+            Err(FlowError::InvalidOptions(msg)) => assert!(msg.contains("k = 9"), "{msg}"),
+            other => panic!("expected InvalidOptions, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_cuts_is_an_error() {
+        let p = Pipeline::new().with_map_options(MapOptions {
+            k: 6,
+            cuts_per_node: 0,
+            mode: MapMode::Free,
+        });
+        assert!(matches!(
+            p.run(&xor_tree(8)),
+            Err(FlowError::InvalidOptions(_))
+        ));
+    }
+
+    #[test]
+    fn corrupted_mapping_fails_verification() {
+        let net = xor_tree(24);
+        let p = Pipeline::new();
+        let synth = p.resynth(&net).unwrap();
+        let mut mapped = p.map(&synth).unwrap();
+        p.verify(&net, &mapped).unwrap();
+        // Flip one LUT's truth table: the function must stop matching.
+        mapped.set_truth(0, !mapped.luts()[0].truth);
+        match p.verify(&net, &mapped) {
+            Err(FlowError::VerificationMismatch { design, rounds }) => {
+                assert_eq!(design, "xor24");
+                assert_eq!(rounds, 4);
+            }
+            other => panic!("expected VerificationMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn capacity_overflow_is_unplaceable() {
+        let net = xor_tree(128);
+        let p = Pipeline::new().with_max_slices(Some(2));
+        match p.run(&net) {
+            Err(FlowError::Unplaceable {
+                design,
+                slices,
+                capacity,
+            }) => {
+                assert_eq!(design, "xor128");
+                assert!(slices > 2);
+                assert_eq!(capacity, 2);
+            }
+            other => panic!("expected Unplaceable, got {other:?}"),
+        }
+        // The same pipeline with enough capacity succeeds.
+        assert!(Pipeline::new()
+            .with_max_slices(Some(10_000))
+            .run(&net)
+            .is_ok());
+    }
+
+    #[test]
+    fn stages_compose_to_the_same_report_as_run() {
+        let net = xor_tree(40);
+        let p = Pipeline::new();
+        let synth = p.resynth(&net).unwrap();
+        let mapped = p.map(&synth).unwrap();
+        p.verify(&net, &mapped).unwrap();
+        let packing = p.pack(&mapped).unwrap();
+        let placement = p.place(&mapped, &packing).unwrap();
+        let timing = p.time(&mapped, &packing, &placement);
+        let whole = p.run(&net).unwrap();
+        assert_eq!(whole.report.luts, mapped.num_luts());
+        assert_eq!(whole.report.slices, packing.num_slices());
+        assert_eq!(whole.report.time_ns, timing.critical_ns);
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = FlowError::VerificationMismatch {
+            design: "d".into(),
+            rounds: 4,
+        };
+        assert!(e.to_string().contains("changed the function of d"));
+        let e = FlowError::Unplaceable {
+            design: "d".into(),
+            slices: 9,
+            capacity: 2,
+        };
+        assert!(e.to_string().contains("unplaceable"));
+        let e = FlowError::InvalidOptions("k".into());
+        assert!(e.to_string().contains("invalid flow options"));
+    }
+}

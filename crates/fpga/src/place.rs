@@ -12,7 +12,11 @@
 //!   the thread count, never on scheduling. The parallel mode shards each
 //!   temperature step's move batch across disjoint horizontal bands of
 //!   the grid, each worker seeded from [`PlaceOptions::seed`], the step
-//!   index and its shard index, with a merge barrier per step.
+//!   index and its shard index, with a merge barrier per step. Band
+//!   boundaries *rotate* (deterministically) from one temperature step
+//!   to the next, so a slice is never locked into one band for the
+//!   whole anneal — moves proposed in step `i+1` can carry it across
+//!   the boundaries of step `i`.
 //! * **Incremental cost** — per-net bounding boxes are cached, so a
 //!   proposal only recomputes nets whose box can actually change (a pin
 //!   leaving the interior of its net's box cannot change its HPWL).
@@ -204,8 +208,9 @@ pub struct PlaceOptions {
     pub max_total_moves: usize,
     /// Annealing worker threads. `1` (and `0`) run the sequential
     /// annealer; `n > 1` shards each temperature step across up to `n`
-    /// disjoint horizontal grid bands, deterministically for a fixed
-    /// seed and thread count.
+    /// disjoint horizontal grid bands (with boundaries rotating per
+    /// step so slices can migrate between bands), deterministically for
+    /// a fixed seed and thread count.
     pub threads: usize,
 }
 
@@ -371,11 +376,14 @@ pub fn place_with_stats(
             t *= COOLING;
         }
     } else {
-        // Parallel annealer: shard each step over disjoint row bands.
+        // Parallel annealer: shard each step over disjoint row bands
+        // whose boundaries rotate (deterministically) per step, so
+        // slices can migrate between bands across steps.
         let bands = band_ranges(h, shards);
         let mut step: u64 = 0;
         while t > T_MIN && spent < budget {
             let alloc = moves_per_temp.min(budget - spent);
+            let offset = band_offset(opts.seed, step, h);
             let results: Vec<ShardResult> = std::thread::scope(|scope| {
                 let handles: Vec<_> = bands
                     .iter()
@@ -384,7 +392,10 @@ pub fn place_with_stats(
                         let n_moves = alloc / shards + usize::from(k < alloc % shards);
                         let worker = ann.fork();
                         let rng = StdRng::seed_from_u64(shard_seed(opts.seed, step, k as u64));
-                        scope.spawn(move || anneal_shard(worker, r0 * w..r1 * w, t, rng, n_moves))
+                        let start_row = (r0 + offset) % h;
+                        scope.spawn(move || {
+                            anneal_shard(worker, start_row, r1 - r0, h, t, rng, n_moves)
+                        })
                     })
                     .collect();
                 handles
@@ -399,8 +410,11 @@ pub fn place_with_stats(
             let mut accepted = 0usize;
             let mut dirty_all: Vec<u32> = Vec::new();
             for (&(r0, _), res) in bands.iter().zip(results) {
-                let off = r0 * w;
-                ann.cells[off..off + res.cells.len()].copy_from_slice(&res.cells);
+                let start_row = (r0 + offset) % h;
+                for (local_row, chunk) in res.cells.chunks_exact(w).enumerate() {
+                    let row = (start_row + local_row) % h;
+                    ann.cells[row * w..row * w + w].copy_from_slice(chunk);
+                }
                 for (s, p) in res.moved {
                     ann.pos[s as usize] = p;
                 }
@@ -461,6 +475,15 @@ fn band_ranges(h: usize, shards: usize) -> Vec<(usize, usize)> {
         row += rows;
     }
     out
+}
+
+/// The deterministic row offset all band boundaries rotate by in one
+/// temperature step. Derived from the seed and step index alone, so a
+/// fixed (seed, thread count) still fully determines the anneal; varying
+/// per step, so band boundaries land somewhere new each step and slices
+/// near a boundary can migrate into the neighbouring band.
+fn band_offset(seed: u64, step: u64, h: usize) -> usize {
+    (shard_seed(seed, step, 0xB0B0) % h as u64) as usize
 }
 
 /// Decorrelated per-shard RNG seed (splitmix64-style finalizer over the
@@ -711,26 +734,34 @@ struct ShardResult {
 }
 
 /// Runs one shard's slice of a temperature step: `n_moves` proposals
-/// confined to the cells in `range`.
+/// confined to the band of `rows` full grid rows starting at
+/// `start_row`, wrapping modulo `h` (bands rotate across steps, so a
+/// band may span the bottom and top of the grid).
 fn anneal_shard(
     mut ann: Annealer<'_>,
-    range: std::ops::Range<usize>,
+    start_row: usize,
+    rows: usize,
+    h: usize,
     t: f64,
     mut rng: StdRng,
     n_moves: usize,
 ) -> ShardResult {
-    let len = range.len();
+    let w = ann.w;
+    let len = rows * w;
+    let cell_at = |local: usize| ((start_row + local / w) % h) * w + local % w;
     let mut accepted = 0usize;
     for _ in 0..n_moves {
         let (a, b) = draw_pair(&mut rng, len);
-        let (ca, cb) = (range.start + a, range.start + b);
+        let (ca, cb) = (cell_at(a), cell_at(b));
         let delta = ann.propose(ca, cb);
         if delta < 0.0 || rng.gen::<f64>() < (-delta / t).exp() {
             ann.accept(ca, cb);
             accepted += 1;
         }
     }
-    let cells = ann.cells[range].to_vec();
+    // Cells handed back in band-local row order; the merge rotates them
+    // back into grid position.
+    let cells: Vec<Option<u32>> = (0..len).map(|local| ann.cells[cell_at(local)]).collect();
     let moved = cells
         .iter()
         .filter_map(|c| c.map(|s| (s, ann.pos[s as usize])))
@@ -1096,6 +1127,77 @@ mod tests {
         for s in 0..packing.num_slices() {
             let pos = p.slice_pos(s as u32);
             assert!(seen.insert((pos.0 as i64, pos.1 as i64)));
+        }
+    }
+
+    #[test]
+    fn rotating_bands_let_slices_migrate_between_bands() {
+        // Without rotation, a slice could never leave the band it
+        // started in (ROADMAP open item from PR 2). With per-step
+        // boundary rotation, some slice must end up outside its
+        // starting band of step-0 geometry.
+        let net = dense_lutnet(90);
+        let packing = pack_slices(&net, 4);
+        let num_slices = packing.num_slices();
+        let (w, h) = grid_size(num_slices);
+        let shards = effective_shards(2, w, h);
+        assert!(shards > 1, "test needs a real multi-band grid");
+        let bands = band_ranges(h, shards);
+        let band_of = |row: usize| bands.iter().position(|&(r0, r1)| (r0..r1).contains(&row));
+        let p = place(
+            &net,
+            &packing,
+            &PlaceOptions {
+                threads: 2,
+                ..PlaceOptions::default()
+            },
+        );
+        let migrated = (0..num_slices).any(|s| {
+            let initial_row = s / w; // snake placement row
+            let final_row = p.slice_pos(s as u32).1 as usize;
+            band_of(initial_row) != band_of(final_row)
+        });
+        assert!(migrated, "no slice ever left its initial band");
+    }
+
+    #[test]
+    fn rotated_band_placement_is_deterministic_per_seed() {
+        // Same seed + thread count => identical placement; a different
+        // seed rotates differently and (with overwhelming likelihood)
+        // lands elsewhere.
+        let net = dense_lutnet(90);
+        let packing = pack_slices(&net, 4);
+        let opts = |seed| PlaceOptions {
+            seed,
+            threads: 3,
+            ..PlaceOptions::default()
+        };
+        let a1 = place(&net, &packing, &opts(7));
+        let a2 = place(&net, &packing, &opts(7));
+        let b = place(&net, &packing, &opts(8));
+        let mut same_as_b = true;
+        for s in 0..packing.num_slices() {
+            assert_eq!(a1.slice_pos(s as u32), a2.slice_pos(s as u32));
+            same_as_b &= a1.slice_pos(s as u32) == b.slice_pos(s as u32);
+        }
+        assert!(!same_as_b, "seed change had no effect on the placement");
+    }
+
+    #[test]
+    fn band_offset_is_deterministic_and_varies_with_step() {
+        for h in [2usize, 5, 31] {
+            let offsets: Vec<usize> = (0..16).map(|s| band_offset(42, s, h)).collect();
+            assert_eq!(
+                offsets,
+                (0..16).map(|s| band_offset(42, s, h)).collect::<Vec<_>>()
+            );
+            assert!(offsets.iter().all(|&o| o < h));
+            if h > 2 {
+                assert!(
+                    offsets.windows(2).any(|w| w[0] != w[1]),
+                    "offsets never changed across steps for h = {h}"
+                );
+            }
         }
     }
 

@@ -322,6 +322,66 @@ impl Netlist {
         out
     }
 
+    /// A stable 64-bit content hash of the netlist: name, input names,
+    /// gate array (in topological order) and outputs.
+    ///
+    /// Two netlists that are structurally identical hash identically,
+    /// across processes and runs (the hash never touches `HashMap`
+    /// iteration order or addresses). Used by `rgf2m_fpga`'s `Pipeline`
+    /// to memoize flow artifacts per input design.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use netlist::Netlist;
+    /// let build = || {
+    ///     let mut net = Netlist::new("h");
+    ///     let a = net.input("a");
+    ///     let b = net.input("b");
+    ///     let s = net.xor(a, b);
+    ///     net.output("s", s);
+    ///     net
+    /// };
+    /// assert_eq!(build().content_hash(), build().content_hash());
+    /// ```
+    pub fn content_hash(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_str(&self.name);
+        h.write_usize(self.input_names.len());
+        for name in &self.input_names {
+            h.write_str(name);
+        }
+        h.write_usize(self.gates.len());
+        for g in &self.gates {
+            match *g {
+                Gate::Input(i) => {
+                    h.write_u64(0);
+                    h.write_u64(u64::from(i));
+                }
+                Gate::Const(v) => {
+                    h.write_u64(1);
+                    h.write_u64(u64::from(v));
+                }
+                Gate::And(a, b) => {
+                    h.write_u64(2);
+                    h.write_u64(u64::from(a.0));
+                    h.write_u64(u64::from(b.0));
+                }
+                Gate::Xor(a, b) => {
+                    h.write_u64(3);
+                    h.write_u64(u64::from(a.0));
+                    h.write_u64(u64::from(b.0));
+                }
+            }
+        }
+        h.write_usize(self.outputs.len());
+        for (name, n) in &self.outputs {
+            h.write_str(name);
+            h.write_u64(u64::from(n.0));
+        }
+        h.finish()
+    }
+
     fn intern(&mut self, gate: Gate) -> NodeId {
         if let Some(&id) = self.dedup.get(&gate) {
             return id;
@@ -335,6 +395,65 @@ impl Netlist {
         let id = NodeId(u32::try_from(self.gates.len()).expect("netlist exceeds u32 nodes"));
         self.gates.push(gate);
         id
+    }
+}
+
+/// A tiny, dependency-free FNV-1a 64-bit hasher with a stable output.
+///
+/// Unlike `std::hash`, the result is identical across runs, processes
+/// and platforms — exactly what content-addressed caches need. Used by
+/// [`Netlist::content_hash`] and by `rgf2m_fpga` to fingerprint flow
+/// options.
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a(Self::OFFSET)
+    }
+
+    /// Feeds raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Feeds a string, length-prefixed so concatenations can't collide
+    /// with shifted boundaries.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// Feeds a `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Feeds a `usize` (widened to `u64` for cross-platform stability).
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Feeds an `f64` by bit pattern.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// The accumulated hash.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
     }
 }
 
@@ -456,5 +575,60 @@ mod tests {
         assert_eq!(net.xor_balanced(&[a]), a);
         assert_eq!(net.xor_chain(&[a]), a);
         assert_eq!(net.xor_depth_aware(&[a]), a);
+    }
+
+    fn sample_net(name: &str) -> Netlist {
+        let mut net = Netlist::new(name);
+        let a = net.input("a");
+        let b = net.input("b");
+        let c = net.input("c");
+        let ab = net.and(a, b);
+        let y = net.xor(ab, c);
+        net.output("y", y);
+        net
+    }
+
+    #[test]
+    fn content_hash_is_stable_for_identical_construction() {
+        assert_eq!(
+            sample_net("h").content_hash(),
+            sample_net("h").content_hash()
+        );
+    }
+
+    #[test]
+    fn content_hash_distinguishes_structure_name_and_interface() {
+        let base = sample_net("h").content_hash();
+        // Different entity name.
+        assert_ne!(base, sample_net("g").content_hash());
+        // Different gate structure.
+        let mut other = Netlist::new("h");
+        let a = other.input("a");
+        let b = other.input("b");
+        let c = other.input("c");
+        let ab = other.xor(a, b); // xor instead of and
+        let y = other.xor(ab, c);
+        other.output("y", y);
+        assert_ne!(base, other.content_hash());
+        // Different output name.
+        let mut renamed = Netlist::new("h");
+        let a = renamed.input("a");
+        let b = renamed.input("b");
+        let c = renamed.input("c");
+        let ab = renamed.and(a, b);
+        let y = renamed.xor(ab, c);
+        renamed.output("z", y);
+        assert_ne!(base, renamed.content_hash());
+    }
+
+    #[test]
+    fn fnv_str_writes_are_boundary_safe() {
+        let mut h1 = Fnv1a::new();
+        h1.write_str("ab");
+        h1.write_str("c");
+        let mut h2 = Fnv1a::new();
+        h2.write_str("a");
+        h2.write_str("bc");
+        assert_ne!(h1.finish(), h2.finish());
     }
 }

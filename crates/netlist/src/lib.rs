@@ -43,4 +43,4 @@ pub mod sim;
 mod ir;
 
 pub use analysis::{Depth, Stats};
-pub use ir::{Gate, Netlist, NodeId};
+pub use ir::{Fnv1a, Gate, Netlist, NodeId};

@@ -24,14 +24,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Table IV (flat split-atom sums — the proposed form):");
     print!("{}", FlatCoefficientTable::new(&field));
 
-    // 4. Generate the three S/T-family multipliers and compare.
+    // 4. Generate all six Table V multipliers from the unified registry
+    //    (paper row order) and compare.
     println!("\ngate-level multipliers:");
     for method in Method::ALL {
         let net = generate(&field, method);
         let s = net.stats();
         println!(
-            "  {:<12} {:>3} AND, {:>3} XOR, delay {}",
-            format!("{method:?}"),
+            "  {:<10} {:<14} {:>3} AND, {:>3} XOR, delay {}",
+            method.citation(),
+            method.name(),
             s.ands,
             s.xors,
             s.depth
@@ -52,7 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     );
 
-    let report = FpgaFlow::new().run(&net);
+    let report = Pipeline::new().run_report(&net)?;
     println!("FPGA flow: {report}");
     println!("paper's Table V row for this design: 33 LUTs, 12 slices, 9.77 ns");
 

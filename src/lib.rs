@@ -11,10 +11,10 @@
 //! |---|---|---|
 //! | polynomials over GF(2) | [`gf2poly`] | arithmetic, irreducibility, type II pentanomials |
 //! | field arithmetic | [`gf2m`] | GF(2^m) software oracle, reduction/Mastrovito matrices |
-//! | gate-level IR | [`netlist`] | XOR/AND netlists, simulation, HDL export |
-//! | **paper's contribution** | [`core`] | S/T algebra, splitting, the flat *reconfigurable* generators |
-//! | baselines | [`baselines`] | Mastrovito/Paar, Reyhani-Masoleh & Hasan, Rashidi |
-//! | FPGA substrate | [`fpga`] | resynthesis, LUT mapping, packing, placement, timing |
+//! | gate-level IR | [`netlist`] | XOR/AND netlists, simulation, content hashing, HDL export |
+//! | **paper's contribution** | [`core`] | S/T algebra, splitting, and the unified six-method Table V registry ([`core::Method`]) |
+//! | extra references | [`baselines`] | schoolbook + Karatsuba structural references |
+//! | FPGA substrate | [`fpga`] | the fallible, cacheable [`fpga::Pipeline`]: resynth → map → verify → pack → place → time |
 //!
 //! # Quickstart
 //!
@@ -29,7 +29,10 @@
 //! let b = field.element_from_bits(0x83);
 //! let c = field.mul(&a, &b);
 //!
-//! // ...and the paper's proposed gate-level multiplier, which agrees:
+//! // ...and any of the six Table V multipliers from the unified
+//! // registry (paper row order); the proposed one agrees with the
+//! // oracle:
+//! assert_eq!(Method::ALL.len(), 6);
 //! let net = generate(&field, Method::ProposedFlat);
 //! let mut inputs = Vec::new();
 //! for i in 0..8 {
@@ -43,16 +46,42 @@
 //!     assert_eq!(out[k], c.coeff(k));
 //! }
 //!
-//! // Push it through the FPGA flow for Table V-style numbers:
-//! let report = FpgaFlow::new().run(&net);
+//! // Push it through the fallible FPGA pipeline for Table V-style
+//! // numbers. Every stage returns `Result` — nothing in the public
+//! // flow API panics — and re-running a design hits the artifact
+//! // cache.
+//! let pipeline = Pipeline::new();
+//! let report = pipeline.run_report(&net)?;
 //! assert!(report.luts > 0 && report.time_ns > 0.0);
-//! # Ok::<(), gf2poly::PentanomialError>(())
+//! let again = pipeline.run_report(&net)?; // ~free: memoized
+//! assert_eq!(pipeline.cache_hits(), 1);
+//! assert_eq!(report, again);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! To fan many (field × method) scenarios over worker threads with
+//! deterministic per-job seeds — and export the results as JSON/CSV —
+//! use `rgf2m_bench::BatchRunner`, or from the shell:
+//!
+//! ```sh
+//! cargo run --release -p rgf2m_bench --bin table5 -- --json table5.json
 //! ```
 //!
 //! See `examples/` for complete scenarios (Reed-Solomon over the CCSDS
 //! field, NIST B-163 ECDSA field arithmetic, a pentanomial census, and a
 //! synthesis-space explorer), and the `rgf2m-bench` crate for the
 //! binaries regenerating every table of the paper.
+//!
+//! # Upgrading from `FpgaFlow`
+//!
+//! [`fpga::FpgaFlow`] (panicking, uncached) is soft-deprecated in favour
+//! of [`fpga::Pipeline`]:
+//!
+//! * `FpgaFlow::new().run(&net)` → `Pipeline::new().run_report(&net)?`
+//! * `FpgaFlow::new().run_detailed(&net)` → `Pipeline::new().run(&net)?`
+//! * verification failures, capacity overflows and invalid options
+//!   arrive as [`fpga::FlowError`] values instead of panics;
+//! * `FpgaFlow::pipeline()` converts an existing configuration.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -71,10 +100,12 @@ pub mod prelude {
     pub use gf2m::{Field, FieldError, MastrovitoMatrix, ReductionMatrix};
     pub use gf2poly::{is_irreducible, Gf2Poly, PentanomialError, TypeIiPentanomial};
     pub use netlist::{Gate, Netlist, NodeId};
-    pub use rgf2m_baselines::{MastrovitoPaar, Rashidi, ReyhaniHasan, School};
+    pub use rgf2m_baselines::School;
     pub use rgf2m_core::{
-        generate, AtomKind, CoefficientTable, FlatCoefficientTable, Method, MultiplierGenerator,
-        ProductTerm, SiTi, SplitAtom,
+        generate, AtomKind, CoefficientTable, FlatCoefficientTable, MastrovitoPaar, Method,
+        MultiplierGenerator, ProductTerm, Rashidi, ReyhaniHasan, SiTi, SplitAtom,
     };
-    pub use rgf2m_fpga::{FpgaFlow, ImplReport, MapMode, MapOptions};
+    pub use rgf2m_fpga::{
+        FlowArtifacts, FlowError, FpgaFlow, ImplReport, MapMode, MapOptions, Pipeline, PlaceOptions,
+    };
 }

@@ -1,18 +1,11 @@
 //! Workspace-level integration tests: algebra → generators → netlists →
 //! FPGA flow → applications, crossing every crate boundary.
 
-use rgf2m::baselines::{MastrovitoPaar, Rashidi, ReyhaniHasan};
 use rgf2m::prelude::*;
 
+/// The whole Table V family now comes straight from the registry.
 fn all_methods() -> Vec<Box<dyn MultiplierGenerator>> {
-    vec![
-        Box::new(MastrovitoPaar),
-        Box::new(Rashidi),
-        Box::new(ReyhaniHasan),
-        Method::Imana2012.generator(),
-        Method::Imana2016.generator(),
-        Method::ProposedFlat.generator(),
-    ]
+    Method::ALL.iter().map(|m| m.generator()).collect()
 }
 
 #[test]
@@ -29,21 +22,25 @@ fn every_method_exhaustively_correct_on_the_papers_field() {
 #[test]
 fn every_method_survives_the_full_fpga_flow_on_gf256() {
     let field = Field::from_pentanomial(&TypeIiPentanomial::new(8, 2).unwrap());
+    // One shared pipeline: the re-verification stage runs per design,
+    // and a mapping mismatch arrives as a typed error.
+    let pipeline = Pipeline::new();
     for gen in all_methods() {
         let net = gen.generate(&field);
-        // The flow itself re-verifies the mapping on random vectors and
-        // panics on any mismatch.
-        let report = FpgaFlow::new().run(&net);
+        let report = pipeline
+            .run_report(&net)
+            .unwrap_or_else(|e| panic!("{}: {e}", gen.name()));
         assert!(report.luts >= 17, "{}: too few LUTs to be real", gen.name());
         assert!(report.time_ns > 4.0, "{}", gen.name());
     }
+    assert_eq!(pipeline.cache_len(), Method::ALL.len());
 }
 
 #[test]
 fn mapped_multiplier_still_multiplies_through_lut_simulation() {
     let field = Field::from_pentanomial(&TypeIiPentanomial::new(8, 2).unwrap());
     let net = generate(&field, Method::ProposedFlat);
-    let artifacts = FpgaFlow::new().run_detailed(&net);
+    let artifacts = Pipeline::new().run(&net).expect("clean run");
     // Exhaustive check of the LUT netlist against the software oracle.
     let mut base = 0u64;
     while base < (1 << 16) {

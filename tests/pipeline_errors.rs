@@ -1,0 +1,111 @@
+//! Error-path coverage for the fallible `Pipeline` API: everything the
+//! legacy `FpgaFlow` used to panic on (or could not express) must
+//! surface as a typed `FlowError` through the facade.
+
+use rgf2m::prelude::*;
+
+fn gf256_net() -> Netlist {
+    let field = Field::from_pentanomial(&TypeIiPentanomial::new(8, 2).unwrap());
+    generate(&field, Method::ProposedFlat)
+}
+
+#[test]
+fn invalid_pentanomial_pairs_are_typed_errors() {
+    // The gf2poly layer reports both failure modes...
+    assert!(matches!(
+        TypeIiPentanomial::new(8, 4),
+        Err(PentanomialError::ShapeOutOfRange { .. })
+    ));
+    assert!(matches!(
+        TypeIiPentanomial::new(16, 2),
+        Err(PentanomialError::Reducible { .. })
+    ));
+    // ...and a flow driver folding them into the pipeline's error enum
+    // keeps the message informative (this is exactly what
+    // `rgf2m_bench::BatchRunner` does per job).
+    let err = TypeIiPentanomial::new(16, 2)
+        .map_err(|e| FlowError::InvalidOptions(format!("(16, 2): {e}")))
+        .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("invalid flow options"), "{msg}");
+    assert!(msg.contains("reducible"), "{msg}");
+}
+
+#[test]
+fn corrupted_lut_netlist_fails_verification_with_an_error() {
+    let net = gf256_net();
+    let pipeline = Pipeline::new();
+    let synth = pipeline.resynth(&net).expect("valid options");
+    let mut mapped = pipeline.map(&synth).expect("mapping succeeds");
+    pipeline
+        .verify(&net, &mapped)
+        .expect("uncorrupted mapping verifies");
+
+    // Deliberately corrupt one LUT's truth table: the multiplier no
+    // longer multiplies, and the pipeline must say so — not panic.
+    let truth = mapped.luts()[0].truth;
+    mapped.set_truth(0, !truth);
+    match pipeline.verify(&net, &mapped) {
+        Err(FlowError::VerificationMismatch { design, rounds }) => {
+            assert!(design.contains("mul_proposed"), "{design}");
+            assert!(rounds > 0);
+        }
+        other => panic!("expected VerificationMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn interface_corruption_is_also_a_verification_error() {
+    let net = gf256_net();
+    let pipeline = Pipeline::new();
+    let mapped = pipeline
+        .map(&pipeline.resynth(&net).unwrap())
+        .expect("mapping succeeds");
+    // Verifying against an unrelated design (different interface) must
+    // be rejected before any random vectors run.
+    let mut tiny = Netlist::new("tiny");
+    let a = tiny.input("a");
+    let b = tiny.input("b");
+    let y = tiny.xor(a, b);
+    tiny.output("y", y);
+    match pipeline.verify(&tiny, &mapped) {
+        Err(FlowError::VerificationMismatch { rounds, .. }) => assert_eq!(rounds, 0),
+        other => panic!("expected VerificationMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn invalid_map_options_are_rejected_up_front() {
+    let pipeline = Pipeline::new().with_map_options(MapOptions {
+        k: 7, // LUT truth tables only go to k = 6
+        cuts_per_node: 8,
+        mode: MapMode::Free,
+    });
+    match pipeline.run(&gf256_net()) {
+        Err(FlowError::InvalidOptions(msg)) => assert!(msg.contains("k = 7"), "{msg}"),
+        other => panic!("expected InvalidOptions, got {other:?}"),
+    }
+}
+
+#[test]
+fn designs_too_big_for_the_device_are_unplaceable() {
+    let pipeline = Pipeline::new().with_max_slices(Some(3));
+    match pipeline.run(&gf256_net()) {
+        Err(FlowError::Unplaceable {
+            slices, capacity, ..
+        }) => {
+            assert!(slices > capacity);
+            assert_eq!(capacity, 3);
+        }
+        other => panic!("expected Unplaceable, got {other:?}"),
+    }
+}
+
+#[test]
+fn the_happy_path_still_returns_ok_artifacts() {
+    let net = gf256_net();
+    let pipeline = Pipeline::new();
+    let artifacts = pipeline.run(&net).expect("clean run");
+    assert_eq!(artifacts.report.luts, artifacts.mapped.num_luts());
+    assert!(artifacts.report.time_ns > 0.0);
+}

@@ -7,9 +7,10 @@
 // Each item imported explicitly — a glob would hide removals.
 use rgf2m::prelude::{
     generate, is_irreducible, AtomKind, CoefficientTable, Field, FieldError, FlatCoefficientTable,
-    Gate, Gf2Poly, ImplReport, MapMode, MapOptions, MastrovitoMatrix, MastrovitoPaar, Method,
-    MultiplierGenerator, Netlist, NodeId, PentanomialError, ProductTerm, Rashidi, ReductionMatrix,
-    ReyhaniHasan, School, SiTi, SplitAtom, TypeIiPentanomial,
+    FlowArtifacts, FlowError, Gate, Gf2Poly, ImplReport, MapMode, MapOptions, MastrovitoMatrix,
+    MastrovitoPaar, Method, MultiplierGenerator, Netlist, NodeId, PentanomialError, Pipeline,
+    PlaceOptions, ProductTerm, Rashidi, ReductionMatrix, ReyhaniHasan, School, SiTi, SplitAtom,
+    TypeIiPentanomial,
 };
 
 /// The facade's module aliases must also stay stable.
@@ -53,6 +54,11 @@ fn every_prelude_type_is_nameable() {
     type_exists::<ImplReport>();
     type_exists::<MapMode>();
     type_exists::<MapOptions>();
+    // The redesigned flow surface.
+    type_exists::<Pipeline>();
+    type_exists::<FlowError>();
+    type_exists::<FlowArtifacts>();
+    type_exists::<PlaceOptions>();
 }
 
 // `FpgaFlow` doubles as a value below; keep a type-position alias so the
@@ -70,19 +76,35 @@ fn trait_items_are_usable_as_bounds() {
 }
 
 #[test]
+fn unified_registry_is_reachable_from_the_prelude() {
+    // The redesign's acceptance contract: all six Table V generators
+    // behind one enum, in the paper's row order.
+    assert_eq!(Method::ALL.len(), 6);
+    let citations: Vec<&str> = Method::ALL.iter().map(|m| m.citation()).collect();
+    assert_eq!(citations, ["[2]", "[8]", "[3]", "[6]", "[7]", "This work"]);
+}
+
+#[test]
 fn prelude_functions_run_end_to_end() {
     // `is_irreducible` on the AES modulus.
     let f = Gf2Poly::from_exponents(&[8, 4, 3, 2, 0]);
     assert!(is_irreducible(&f));
 
-    // `Field::from_pentanomial` + `generate` + the FPGA flow: the same
-    // pipeline the quickstart documents, in miniature.
+    // `Field::from_pentanomial` + `generate` + the FPGA pipeline: the
+    // same flow the quickstart documents, in miniature, on the new
+    // fallible surface.
     let penta = TypeIiPentanomial::new(8, 2).expect("paper field exists");
     let field = Field::from_pentanomial(&penta);
     let net = generate(&field, Method::ProposedFlat);
     assert_eq!(net.num_inputs(), 16);
 
-    let report = FpgaFlow::new().run(&net);
+    let report = Pipeline::new()
+        .run_report(&net)
+        .expect("pipeline runs clean");
     assert!(report.luts > 0);
     assert!(report.time_ns > 0.0);
+
+    // The legacy shim must agree with its own pipeline.
+    let legacy = FpgaFlow::new().run(&net);
+    assert_eq!(legacy, report);
 }
