@@ -8,7 +8,7 @@ use rgf2m_fpga::map::{map_to_luts, MapOptions};
 use rgf2m_fpga::pack::pack_slices;
 use rgf2m_fpga::place::{place, PlaceOptions};
 use rgf2m_fpga::resynth::rebalance_xors;
-use rgf2m_fpga::FpgaFlow;
+use rgf2m_fpga::Pipeline;
 
 fn bench_flow_stages(c: &mut Criterion) {
     let field = field_for(8, 2);
@@ -47,7 +47,7 @@ fn bench_flow_stages(c: &mut Criterion) {
         })
     });
     group.bench_function("full_flow", |b| {
-        b.iter(|| std::hint::black_box(FpgaFlow::new().run(&net)))
+        b.iter(|| std::hint::black_box(Pipeline::new().run_report(&net).unwrap()))
     });
     group.finish();
 }

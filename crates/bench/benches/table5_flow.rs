@@ -8,12 +8,14 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rgf2m_bench::{field_for, table_v_generators};
 use rgf2m_fpga::place::PlaceOptions;
-use rgf2m_fpga::FpgaFlow;
+use rgf2m_fpga::Pipeline;
 
-/// A flow with a light annealing budget, to keep bench wall-time sane;
-/// the printed Table V uses the full-budget flow (see the `table5` bin).
-fn bench_flow() -> FpgaFlow {
-    FpgaFlow::new().with_place_options(PlaceOptions {
+/// A pipeline with a light annealing budget, to keep bench wall-time
+/// sane; the printed Table V uses the full-budget pipeline (see the
+/// `table5` bin). Built fresh per iteration so the artifact cache never
+/// turns the bench into a no-op.
+fn bench_pipeline() -> Pipeline {
+    Pipeline::new().with_place_options(PlaceOptions {
         seed: 2018,
         moves_factor: 2,
         max_total_moves: 40_000,
@@ -31,14 +33,14 @@ fn bench_table5(c: &mut Criterion) {
     for gen in table_v_generators() {
         let net = gen.generate(&field8);
         group.bench_with_input(BenchmarkId::new("m8", gen.name()), &net, |b, net| {
-            b.iter(|| std::hint::black_box(bench_flow().run(net)))
+            b.iter(|| std::hint::black_box(bench_pipeline().run_report(net).unwrap()))
         });
     }
     // One large-field datapoint (the proposed method).
     let field64 = field_for(64, 23);
     let net64 = rgf2m_core::generate(&field64, rgf2m_core::Method::ProposedFlat);
     group.bench_with_input(BenchmarkId::new("m64", "proposed"), &net64, |b, net| {
-        b.iter(|| std::hint::black_box(bench_flow().run(net)))
+        b.iter(|| std::hint::black_box(bench_pipeline().run_report(net).unwrap()))
     });
     group.finish();
 }

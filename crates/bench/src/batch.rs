@@ -1,10 +1,10 @@
-//! The parallel batch runner: fan a list of (m, n, method) jobs over
-//! worker threads, each through its own fallible [`Pipeline`], with
-//! deterministic per-job seeds.
+//! The parallel batch runner: fan a list of (m, n, method, target)
+//! jobs over worker threads, each through its own fallible
+//! [`Pipeline`], with deterministic per-job seeds.
 //!
 //! This is the scale-out entry point the ROADMAP's north star asks for:
-//! one call runs an arbitrary set of field × method scenarios and
-//! returns machine-readable results (`Vec<Result<ImplReport,
+//! one call runs an arbitrary set of field × method × fabric scenarios
+//! and returns machine-readable results (`Vec<Result<ImplReport,
 //! FlowError>>`, serializable via [`crate::report`]). Results are
 //! **independent of the thread count and of scheduling**: job `i`
 //! always anneals with the seed derived from `(base_seed, i)`, and the
@@ -15,14 +15,17 @@
 //! ```
 //! use rgf2m_bench::{BatchRunner, Job};
 //! use rgf2m_core::Method;
+//! use rgf2m_fpga::Target;
 //!
 //! let jobs = vec![
-//!     Job::new(8, 2, Method::ProposedFlat),
-//!     Job::new(16, 2, Method::ProposedFlat), // invalid pair: reducible
+//!     Job::new(8, 2, Method::ProposedFlat),          // default artix7
+//!     Job::on(8, 2, Method::ProposedFlat, Target::Spartan3),
+//!     Job::new(16, 2, Method::ProposedFlat),         // invalid: reducible
 //! ];
 //! let results = BatchRunner::new().run(&jobs);
 //! assert!(results[0].is_ok());
-//! assert!(results[1].is_err()); // reported, not panicked
+//! assert!(results[1].is_ok());
+//! assert!(results[2].is_err()); // reported, not panicked
 //! ```
 
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -31,10 +34,10 @@ use std::sync::Mutex;
 use gf2m::Field;
 use gf2poly::TypeIiPentanomial;
 use rgf2m_core::Method;
-use rgf2m_fpga::{FlowError, ImplReport, Pipeline};
+use rgf2m_fpga::{FlowError, ImplReport, Pipeline, Target};
 
 /// One batch scenario: implement `method` for GF(2^m) with the type II
-/// pentanomial `(m, n)`.
+/// pentanomial `(m, n)` on the fabric `target`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Job {
     /// Extension degree `m`.
@@ -43,27 +46,63 @@ pub struct Job {
     pub n: usize,
     /// The multiplier construction to run.
     pub method: Method,
+    /// The fabric to implement on.
+    pub target: Target,
 }
 
 impl Job {
-    /// Creates a job. Validity of `(m, n)` is checked when the job
-    /// runs — an invalid pair yields `Err(FlowError::InvalidOptions)`
-    /// in that job's slot, never a panic.
+    /// Creates a job on the default [`Target::Artix7`] fabric (the
+    /// paper's). Validity of `(m, n)` is checked when the job runs — an
+    /// invalid pair yields `Err(FlowError::InvalidOptions)` in that
+    /// job's slot, never a panic.
     pub fn new(m: usize, n: usize, method: Method) -> Self {
-        Job { m, n, method }
+        Job::on(m, n, method, Target::Artix7)
+    }
+
+    /// Creates a job on an explicit target fabric.
+    pub fn on(m: usize, n: usize, method: Method, target: Target) -> Self {
+        Job {
+            m,
+            n,
+            method,
+            target,
+        }
+    }
+
+    /// The same job on another fabric.
+    pub fn with_target(mut self, target: Target) -> Self {
+        self.target = target;
+        self
     }
 }
 
-/// All six Table V methods for each listed field, in the paper's row
-/// order — the canonical job list for regenerating Table V blocks.
+/// All six Table V methods for each listed field on the default
+/// Artix-7 fabric, in the paper's row order — the canonical job list
+/// for regenerating Table V blocks.
 pub fn table_v_jobs(fields: &[(usize, usize)]) -> Vec<Job> {
+    table_v_jobs_on(fields, Target::Artix7)
+}
+
+/// All six Table V methods for each listed field on one fabric, in the
+/// paper's row order.
+pub fn table_v_jobs_on(fields: &[(usize, usize)], target: Target) -> Vec<Job> {
     fields
         .iter()
         .flat_map(|&(m, n)| {
             Method::ALL
                 .into_iter()
-                .map(move |method| Job::new(m, n, method))
+                .map(move |method| Job::on(m, n, method, target))
         })
+        .collect()
+}
+
+/// The full cross-target grid: for every registry target (in
+/// [`Target::ALL`] order), every listed field × every Table V method —
+/// target-major, so each target's rows form whole six-method blocks.
+pub fn cross_target_jobs(fields: &[(usize, usize)]) -> Vec<Job> {
+    Target::ALL
+        .into_iter()
+        .flat_map(|target| table_v_jobs_on(fields, target))
         .collect()
 }
 
@@ -100,8 +139,15 @@ impl BatchRunner {
         self
     }
 
-    /// Replaces the pipeline template jobs run through (its placement
-    /// seed is overridden per job by [`BatchRunner::job_seed`]).
+    /// Replaces the pipeline template jobs run through. Per job, the
+    /// template's placement seed is overridden by
+    /// [`BatchRunner::job_seed`]; a job whose [`Job::target`] differs
+    /// from the template's retargets its pipeline (replacing the device
+    /// model and mapper LUT width with the job target's presets), while
+    /// jobs on the template's own fabric keep its device verbatim —
+    /// including any same-shape delay recalibration. Target-independent
+    /// template options (annealing budget, verify rounds, mapper mode,
+    /// resynthesis) always carry through.
     pub fn with_pipeline(mut self, pipeline: Pipeline) -> Self {
         self.pipeline = pipeline;
         self
@@ -169,12 +215,17 @@ impl BatchRunner {
             })?;
             let field = Field::from_pentanomial(&penta);
             let net = job.method.generator().generate(&field);
-            // Config-only clone: the per-job seed changes the cache key
-            // anyway, so copying the template's artifacts would be waste.
-            self.pipeline
-                .clone_config()
-                .with_place_seed(seed)
-                .run_report(&net)
+            // Config-only clone: the per-job seed and target change the
+            // cache key anyway, so copying the template's artifacts
+            // would be waste.
+            let mut pipeline = self.pipeline.clone_config();
+            if job.target != pipeline.target() {
+                // Only retarget when the job actually deviates from the
+                // template — a template carrying a same-shape device
+                // recalibration keeps it for jobs on its own fabric.
+                pipeline = pipeline.with_target(job.target);
+            }
+            pipeline.with_place_seed(seed).run_report(&net)
         })();
         BatchRow { job, seed, result }
     }
@@ -210,17 +261,75 @@ mod tests {
         let rows = BatchRunner::new().run_rows(&jobs);
         for (row, method) in rows.iter().zip(Method::ALL) {
             assert_eq!(row.job.method, method);
+            assert_eq!(row.job.target, Target::Artix7);
             let r = row.result.as_ref().unwrap();
             assert!(r.luts > 0 && r.time_ns > 0.0, "{method:?}: {r:?}");
         }
     }
 
     #[test]
+    fn cross_target_jobs_cover_the_whole_grid_target_major() {
+        let jobs = cross_target_jobs(&[(8, 2), (8, 3)]);
+        assert_eq!(jobs.len(), Target::ALL.len() * 2 * Method::ALL.len());
+        for (i, job) in jobs.iter().enumerate() {
+            let per_target = 2 * Method::ALL.len();
+            assert_eq!(job.target, Target::ALL[i / per_target], "job {i}");
+            assert_eq!(job.method, Method::ALL[i % Method::ALL.len()], "job {i}");
+        }
+    }
+
+    #[test]
+    fn jobs_on_different_targets_yield_different_numbers() {
+        let job = |t| Job::on(8, 2, Method::ProposedFlat, t);
+        let rows = BatchRunner::new().run_rows(&[job(Target::Artix7), job(Target::Spartan3)]);
+        let a = rows[0].result.as_ref().unwrap();
+        let s = rows[1].result.as_ref().unwrap();
+        // The narrow fabric pays area; the slower 90 nm constants and
+        // extra levels cost time.
+        assert!(s.luts > a.luts, "spartan3 {} <= artix7 {}", s.luts, a.luts);
+        assert!(s.time_ns > a.time_ns);
+    }
+
+    #[test]
+    fn template_device_recalibration_survives_same_target_jobs() {
+        use rgf2m_fpga::Device;
+        // A template carrying a same-shape artix7 recalibration must
+        // shape its artix7 jobs' timing; jobs on other fabrics retarget
+        // to that fabric's stock preset.
+        let slow = Device {
+            t_obuf_ns: 5.0,
+            ..Device::artix7()
+        };
+        let runner = BatchRunner::new().with_pipeline(crate::harness_pipeline().with_device(slow));
+        let jobs = [
+            Job::new(8, 2, Method::ProposedFlat),
+            Job::on(8, 2, Method::ProposedFlat, Target::Virtex5),
+        ];
+        let rows = runner.run_rows(&jobs);
+        let stock = BatchRunner::new().run_rows(&jobs);
+        let (r, s) = (
+            rows[0].result.as_ref().unwrap(),
+            stock[0].result.as_ref().unwrap(),
+        );
+        assert!(
+            r.time_ns > s.time_ns,
+            "recalibrated OBUF must slow the artix7 job: {} vs {}",
+            r.time_ns,
+            s.time_ns
+        );
+        // The retargeted job ignores the artix7 recalibration entirely.
+        assert_eq!(
+            rows[1].result.as_ref().unwrap(),
+            stock[1].result.as_ref().unwrap()
+        );
+    }
+
+    #[test]
     fn output_is_in_job_order_and_thread_count_invariant() {
         let jobs = vec![
             Job::new(8, 2, Method::ProposedFlat),
-            Job::new(8, 3, Method::Rashidi),
-            Job::new(8, 2, Method::Imana2016),
+            Job::on(8, 3, Method::Rashidi, Target::Virtex5),
+            Job::on(8, 2, Method::Imana2016, Target::StratixAlm),
             Job::new(13, 5, Method::ReyhaniHasan),
         ];
         let seq = BatchRunner::new().run_rows(&jobs);
@@ -249,6 +358,23 @@ mod tests {
         // And the artifact passes its own schema validation.
         let summary = validate_table5_json(&a).unwrap();
         assert!(summary.contains("6 rows"), "{summary}");
+    }
+
+    #[test]
+    fn cross_target_export_is_byte_identical_across_thread_counts() {
+        // The acceptance contract for the crosstarget surface: the full
+        // per-target grid serializes to the same bytes whatever the
+        // worker count, and passes schema validation.
+        let jobs = cross_target_jobs(&[(8, 2)]);
+        let runner = BatchRunner::new();
+        let a = rows_to_json(&runner.run_rows(&jobs), runner.base_seed());
+        let b = rows_to_json(
+            &runner.clone().with_threads(4).run_rows(&jobs),
+            runner.base_seed(),
+        );
+        assert_eq!(a, b);
+        let summary = validate_table5_json(&a).unwrap();
+        assert!(summary.contains("4 target(s)"), "{summary}");
     }
 
     #[test]

@@ -1,15 +1,19 @@
 //! Measures placement wall-time and emits the `BENCH_place.json`
 //! trajectory artifact, so placement performance is comparable
-//! run-over-run and machine-to-machine.
+//! run-over-run and machine-to-machine — per target fabric, so
+//! target-specific placement drift (different slice counts per k and
+//! slice capacity) is tracked separately.
 //!
 //! Usage:
-//!   bench_place                 # m = 163 (largest bundled Table V field)
-//!   bench_place --quick         # m = 64, reduced budget (~seconds)
-//!   bench_place --out PATH      # artifact path (default BENCH_place.json)
-//!   bench_place --threads 1,2,4 # thread counts to sweep
-//!   bench_place --reps N        # timed repetitions per configuration
+//!   bench_place                   # m = 163 (largest bundled Table V field)
+//!   bench_place --quick           # m = 64, reduced budget (~seconds)
+//!   bench_place --out PATH        # artifact path (default BENCH_place.json)
+//!   bench_place --threads 1,2,4   # thread counts to sweep
+//!   bench_place --reps N          # timed repetitions per configuration
+//!   bench_place --targets a,b     # fabrics to sweep (default: all; --quick: artix7)
 //!
-//! The artifact records, per thread count: best/mean wall-time, the
+//! The artifact records, per target and thread count: the mapped/packed
+//! design shape on that fabric, best/mean wall-time, the
 //! proposal/acceptance counters and the per-temperature-step HPWL
 //! trajectory of the best run. Wall-clock numbers are only comparable on
 //! the same machine; the file embeds the measured parallelism available.
@@ -19,16 +23,24 @@ use std::time::Instant;
 
 use rgf2m_bench::{arg_value, field_for};
 use rgf2m_core::{generate, Method};
-use rgf2m_fpga::map::{map_to_luts, MapOptions};
-use rgf2m_fpga::pack::pack_slices;
+use rgf2m_fpga::map::map_to_luts;
+use rgf2m_fpga::pack::{pack_slices, Packing};
 use rgf2m_fpga::place::{place_with_stats, PlaceOptions, PlaceStats};
 use rgf2m_fpga::resynth::rebalance_xors;
+use rgf2m_fpga::{LutNetlist, Target};
 
 struct RunResult {
     threads: usize,
     best_ms: f64,
     mean_ms: f64,
     stats: PlaceStats,
+}
+
+struct TargetResult {
+    target: Target,
+    mapped: LutNetlist,
+    packing: Packing,
+    runs: Vec<RunResult>,
 }
 
 fn main() {
@@ -45,6 +57,22 @@ fn main() {
     let reps: usize = arg_value(&args, "--reps")
         .map(|v| v.parse().expect("--reps wants an integer"))
         .unwrap_or(if quick { 1 } else { 2 });
+    let targets: Vec<Target> = arg_value(&args, "--targets")
+        .map(|v| {
+            v.split(',')
+                .map(|t| {
+                    Target::from_name(t.trim())
+                        .unwrap_or_else(|| panic!("unknown target {t:?} in --targets"))
+                })
+                .collect()
+        })
+        .unwrap_or_else(|| {
+            if quick {
+                vec![Target::Artix7]
+            } else {
+                Target::ALL.to_vec()
+            }
+        });
 
     let (m, n) = if quick { (64, 23) } else { (163, 68) };
     let opts_base = PlaceOptions {
@@ -52,74 +80,89 @@ fn main() {
         ..PlaceOptions::default()
     };
 
-    eprintln!("building GF(2^{m}) proposed multiplier and mapping it ...");
+    eprintln!("building GF(2^{m}) proposed multiplier ...");
     let field = field_for(m, n);
     let net = generate(&field, Method::ProposedFlat);
-    let resynth = rebalance_xors(&net, 6);
-    let mapped = map_to_luts(&resynth, &MapOptions::new());
-    let packing = pack_slices(&mapped, 4);
-    eprintln!(
-        "design: {} LUTs, {} slices",
-        mapped.num_luts(),
-        packing.num_slices()
-    );
 
-    let mut runs: Vec<RunResult> = Vec::new();
-    for &t in &threads {
-        let opts = PlaceOptions {
-            threads: t,
-            ..opts_base.clone()
-        };
-        let mut best_ms = f64::INFINITY;
-        let mut sum_ms = 0.0;
-        let mut best_stats = None;
-        for rep in 0..reps.max(1) {
-            let start = Instant::now();
-            let (_, stats) = place_with_stats(&mapped, &packing, &opts);
-            let ms = start.elapsed().as_secs_f64() * 1e3;
-            eprintln!(
-                "threads={t} rep={rep}: {ms:.1} ms, {} proposals, {} accepted, final HPWL {:.1}",
-                stats.proposals, stats.accepted, stats.final_hpwl
-            );
-            sum_ms += ms;
-            if ms < best_ms {
-                best_ms = ms;
-                best_stats = Some(stats);
+    let mut results: Vec<TargetResult> = Vec::new();
+    for &target in &targets {
+        let k = target.lut_inputs();
+        eprintln!(
+            "[{}] resynthesizing and mapping (k = {k}) ...",
+            target.name()
+        );
+        let resynth = rebalance_xors(&net, k);
+        let mapped = map_to_luts(&resynth, &target.map_options());
+        let packing = pack_slices(&mapped, target.luts_per_slice());
+        eprintln!(
+            "[{}] design: {} LUTs, {} slices",
+            target.name(),
+            mapped.num_luts(),
+            packing.num_slices()
+        );
+
+        let mut runs: Vec<RunResult> = Vec::new();
+        for &t in &threads {
+            let opts = PlaceOptions {
+                threads: t,
+                ..opts_base.clone()
+            };
+            let mut best_ms = f64::INFINITY;
+            let mut sum_ms = 0.0;
+            let mut best_stats = None;
+            for rep in 0..reps.max(1) {
+                let start = Instant::now();
+                let (_, stats) = place_with_stats(&mapped, &packing, &opts);
+                let ms = start.elapsed().as_secs_f64() * 1e3;
+                eprintln!(
+                    "[{}] threads={t} rep={rep}: {ms:.1} ms, {} proposals, {} accepted, final HPWL {:.1}",
+                    target.name(),
+                    stats.proposals,
+                    stats.accepted,
+                    stats.final_hpwl
+                );
+                sum_ms += ms;
+                if ms < best_ms {
+                    best_ms = ms;
+                    best_stats = Some(stats);
+                }
             }
+            runs.push(RunResult {
+                threads: t,
+                best_ms,
+                mean_ms: sum_ms / reps.max(1) as f64,
+                stats: best_stats.expect("at least one rep ran"),
+            });
         }
-        runs.push(RunResult {
-            threads: t,
-            best_ms,
-            mean_ms: sum_ms / reps.max(1) as f64,
-            stats: best_stats.expect("at least one rep ran"),
+        results.push(TargetResult {
+            target,
+            mapped,
+            packing,
+            runs,
         });
     }
 
-    let json = render_json(m, n, &mapped, &packing, &opts_base, &runs);
+    let json = render_json(m, n, &opts_base, &results);
     std::fs::write(&out_path, json).expect("writing the artifact");
     eprintln!("wrote {out_path}");
-    if let Some(base) = runs.iter().find(|r| r.threads == 1) {
-        for r in runs.iter().filter(|r| r.threads != 1) {
-            eprintln!(
-                "speedup vs threads=1: threads={} -> {:.2}x (best-of-{reps})",
-                r.threads,
-                base.best_ms / r.best_ms
-            );
+    for tr in &results {
+        if let Some(base) = tr.runs.iter().find(|r| r.threads == 1) {
+            for r in tr.runs.iter().filter(|r| r.threads != 1) {
+                eprintln!(
+                    "[{}] speedup vs threads=1: threads={} -> {:.2}x (best-of-{reps})",
+                    tr.target.name(),
+                    r.threads,
+                    base.best_ms / r.best_ms
+                );
+            }
         }
     }
 }
 
-fn render_json(
-    m: usize,
-    n: usize,
-    mapped: &rgf2m_fpga::LutNetlist,
-    packing: &rgf2m_fpga::pack::Packing,
-    opts: &PlaceOptions,
-    runs: &[RunResult],
-) -> String {
+fn render_json(m: usize, n: usize, opts: &PlaceOptions, results: &[TargetResult]) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "{{");
-    let _ = writeln!(s, "  \"schema\": \"rgf2m-bench-place/1\",");
+    let _ = writeln!(s, "  \"schema\": \"rgf2m-bench-place/2\",");
     let _ = writeln!(
         s,
         "  \"note\": \"wall-clock ms; comparable only within one machine/run\","
@@ -134,65 +177,81 @@ fn render_json(
     let _ = writeln!(s, "  \"field\": {{\"m\": {m}, \"n\": {n}}},");
     let _ = writeln!(
         s,
-        "  \"design\": {{\"method\": \"ProposedFlat\", \"luts\": {}, \"slices\": {}}},",
-        mapped.num_luts(),
-        packing.num_slices()
-    );
-    let _ = writeln!(
-        s,
         "  \"place_options\": {{\"seed\": {}, \"moves_factor\": {}, \"max_total_moves\": {}}},",
         opts.seed, opts.moves_factor, opts.max_total_moves
     );
-    let _ = writeln!(s, "  \"runs\": [");
-    for (i, r) in runs.iter().enumerate() {
-        let st = &r.stats;
+    let _ = writeln!(s, "  \"targets\": [");
+    for (ti, tr) in results.iter().enumerate() {
         let _ = writeln!(s, "    {{");
-        let _ = writeln!(s, "      \"threads\": {},", r.threads);
-        let _ = writeln!(s, "      \"best_wall_ms\": {:.1},", r.best_ms);
-        let _ = writeln!(s, "      \"mean_wall_ms\": {:.1},", r.mean_ms);
-        let _ = writeln!(s, "      \"proposals\": {},", st.proposals);
-        let _ = writeln!(s, "      \"accepted\": {},", st.accepted);
-        let _ = writeln!(s, "      \"initial_hpwl\": {:.2},", st.initial_hpwl);
-        let _ = writeln!(s, "      \"final_hpwl\": {:.2},", st.final_hpwl);
-        let _ = write!(s, "      \"trajectory\": [");
-        for (j, step) in st.trajectory.iter().enumerate() {
-            if j > 0 {
-                let _ = write!(s, ", ");
-            }
-            let _ = write!(
-                s,
-                "{{\"t\": {:.4}, \"hpwl\": {:.2}, \"proposed\": {}, \"accepted\": {}}}",
-                step.temperature, step.hpwl, step.proposed, step.accepted
-            );
-        }
-        let _ = writeln!(s, "]");
-        let _ = writeln!(s, "    }}{}", if i + 1 < runs.len() { "," } else { "" });
-    }
-    let _ = writeln!(s, "  ],");
-    let speedups: Vec<String> = runs
-        .iter()
-        .filter(|r| r.threads != 1)
-        .filter_map(|r| {
-            runs.iter()
-                .find(|b| b.threads == 1)
-                .map(|b| format!("    \"{}\": {:.2}", r.threads, b.best_ms / r.best_ms))
-        })
-        .collect();
-    let _ = writeln!(s, "  \"speedup_vs_threads1\": {{");
-    let _ = writeln!(s, "{}", speedups.join(",\n"));
-    // The seed-commit reference point is only meaningful for the exact
-    // configuration it was measured under (full m = 163 run, the
-    // machine/session that produced the committed artifact) — never
-    // attach it to --quick runs or other fields.
-    if m == 163 && opts.max_total_moves == 1_200_000 {
-        let _ = writeln!(s, "  }},");
+        let _ = writeln!(s, "      \"target\": \"{}\",", tr.target.name());
         let _ = writeln!(
             s,
-            "  \"seed_baseline\": {{\"description\": \"place() wall-time at the seed commit (PR 1 annealer); only comparable on the machine that produced the committed artifact\", \"best_wall_ms\": 31226.8, \"mean_wall_ms\": 33041.0}}"
+            "      \"design\": {{\"method\": \"ProposedFlat\", \"k\": {}, \"luts_per_slice\": {}, \"luts\": {}, \"slices\": {}}},",
+            tr.target.lut_inputs(),
+            tr.target.luts_per_slice(),
+            tr.mapped.num_luts(),
+            tr.packing.num_slices()
         );
-    } else {
-        let _ = writeln!(s, "  }}");
+        let _ = writeln!(s, "      \"runs\": [");
+        for (i, r) in tr.runs.iter().enumerate() {
+            let st = &r.stats;
+            let _ = writeln!(s, "        {{");
+            let _ = writeln!(s, "          \"threads\": {},", r.threads);
+            let _ = writeln!(s, "          \"best_wall_ms\": {:.1},", r.best_ms);
+            let _ = writeln!(s, "          \"mean_wall_ms\": {:.1},", r.mean_ms);
+            let _ = writeln!(s, "          \"proposals\": {},", st.proposals);
+            let _ = writeln!(s, "          \"accepted\": {},", st.accepted);
+            let _ = writeln!(s, "          \"initial_hpwl\": {:.2},", st.initial_hpwl);
+            let _ = writeln!(s, "          \"final_hpwl\": {:.2},", st.final_hpwl);
+            let _ = write!(s, "          \"trajectory\": [");
+            for (j, step) in st.trajectory.iter().enumerate() {
+                if j > 0 {
+                    let _ = write!(s, ", ");
+                }
+                let _ = write!(
+                    s,
+                    "{{\"t\": {:.4}, \"hpwl\": {:.2}, \"proposed\": {}, \"accepted\": {}}}",
+                    step.temperature, step.hpwl, step.proposed, step.accepted
+                );
+            }
+            let _ = writeln!(s, "]");
+            let _ = writeln!(
+                s,
+                "        }}{}",
+                if i + 1 < tr.runs.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(s, "      ],");
+        let speedups: Vec<String> = tr
+            .runs
+            .iter()
+            .filter(|r| r.threads != 1)
+            .filter_map(|r| {
+                tr.runs
+                    .iter()
+                    .find(|b| b.threads == 1)
+                    .map(|b| format!("        \"{}\": {:.2}", r.threads, b.best_ms / r.best_ms))
+            })
+            .collect();
+        let _ = writeln!(s, "      \"speedup_vs_threads1\": {{");
+        let _ = writeln!(s, "{}", speedups.join(",\n"));
+        // The seed-commit reference point is only meaningful for the
+        // exact configuration it was measured under (full m = 163 run
+        // on artix7, the machine/session that produced the committed
+        // artifact) — never attach it to --quick runs, other fields or
+        // other fabrics.
+        if m == 163 && opts.max_total_moves == 1_200_000 && tr.target == Target::Artix7 {
+            let _ = writeln!(s, "      }},");
+            let _ = writeln!(
+                s,
+                "      \"seed_baseline\": {{\"description\": \"place() wall-time at the seed commit (PR 1 annealer); only comparable on the machine that produced the committed artifact\", \"best_wall_ms\": 31226.8, \"mean_wall_ms\": 33041.0}}"
+            );
+        } else {
+            let _ = writeln!(s, "      }}");
+        }
+        let _ = writeln!(s, "    }}{}", if ti + 1 < results.len() { "," } else { "" });
     }
+    let _ = writeln!(s, "  ]");
     let _ = writeln!(s, "}}");
     s
 }

@@ -1,29 +1,33 @@
 //! Regenerates Table V of the paper: post-"place-and-route" comparison
 //! of six GF(2^m) multiplier methods over nine type II pentanomial
-//! fields, through the `rgf2m-fpga` flow (our stand-in for ISE/XST on
-//! Artix-7 — see DESIGN.md §2).
+//! fields, through the `rgf2m-fpga` flow (our stand-in for ISE/XST —
+//! see DESIGN.md §2), on any registered target fabric.
 //!
 //! Usage:
-//!   table5                 # all nine fields (minutes; use --release)
+//!   table5                 # all nine fields on artix7 (minutes; use --release)
 //!   table5 --quick         # only (8,2) and (64,23) (~seconds)
 //!   table5 --only M,N      # a single field, e.g. --only 8,2
+//!   table5 --target NAME   # another fabric (artix7|spartan3|virtex5|stratix_alm)
+//!   table5 --all-targets   # every registry fabric, one grid per target
 //!   table5 --threads N     # batch worker threads (0 = all CPUs)
 //!   table5 --json PATH     # write the machine-readable report (JSON)
 //!   table5 --csv PATH      # write the machine-readable report (CSV)
 //!
-//! The run fans (field × method) jobs over the parallel `BatchRunner`
-//! with deterministic per-job seeds: the printed numbers — and the
-//! exported JSON bytes — are identical run over run for a fixed base
-//! seed, whatever `--threads` says. For every field the measured block
-//! is printed next to the paper's published numbers, followed by shape
+//! The run fans (field × method × target) jobs over the parallel
+//! `BatchRunner` with deterministic per-job seeds: the printed numbers
+//! — and the exported JSON bytes — are identical run over run for a
+//! fixed base seed, whatever `--threads` says. For every field the
+//! measured block is printed next to the paper's published numbers
+//! (artix7 only — the paper measured on that fabric), followed by shape
 //! checks (who wins A×T, proposed vs \[7\]).
 
 use rgf2m_bench::paper_data::PAPER_TABLE_V;
 use rgf2m_bench::{
-    arg_value, format_field_block, rows_to_csv, rows_to_json, table_v_jobs, BatchRow, BatchRunner,
-    MeasuredRow,
+    arg_value, format_field_block, rows_to_csv, rows_to_json, table_v_jobs_on, BatchRow,
+    BatchRunner, MeasuredRow,
 };
 use rgf2m_core::Method;
+use rgf2m_fpga::Target;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -39,6 +43,17 @@ fn main() {
     let threads: usize = arg_value(&args, "--threads")
         .map(|v| v.parse().expect("--threads wants an integer"))
         .unwrap_or(1);
+    let targets: Vec<Target> = if args.iter().any(|a| a == "--all-targets") {
+        Target::ALL.to_vec()
+    } else {
+        let name = arg_value(&args, "--target").unwrap_or_else(|| "artix7".into());
+        vec![Target::from_name(&name).unwrap_or_else(|| {
+            panic!(
+                "unknown target {name:?}; registered: {}",
+                Target::ALL.map(|t| t.name()).join(", ")
+            )
+        })]
+    };
 
     let fields: Vec<(usize, usize)> = PAPER_TABLE_V
         .iter()
@@ -51,63 +66,84 @@ fn main() {
     assert!(!fields.is_empty(), "no Table V field matches the filters");
 
     let runner = BatchRunner::new().with_threads(threads);
-    let jobs = table_v_jobs(&fields);
+    let jobs: Vec<_> = targets
+        .iter()
+        .flat_map(|&t| table_v_jobs_on(&fields, t))
+        .collect();
     eprintln!(
-        "running {} jobs over {} field(s) ...",
+        "running {} jobs over {} field(s) on {} target(s) ...",
         jobs.len(),
-        fields.len()
+        fields.len(),
+        targets.len()
     );
     let rows = runner.run_rows(&jobs);
 
     println!("TABLE V — COMPARISON OF GF(2^m) MULTIPLIERS");
     println!("(measured by the rgf2m-fpga flow; paper values from ISE 14.7 / Artix-7)");
     println!();
-    let mut our_axt_wins_for_this_work = 0usize;
-    let mut proposed_beats_paren = 0usize;
     let mut failures = 0usize;
-    for (block_rows, &(m, n)) in rows.chunks(Method::ALL.len()).zip(&fields) {
-        let measured: Vec<MeasuredRow> = block_rows.iter().filter_map(measured_row).collect();
-        for row in block_rows {
-            if let Err(e) = &row.result {
-                failures += 1;
-                eprintln!("({m},{n}) {}: {e}", row.job.method.name());
+    let rows_per_target = fields.len() * Method::ALL.len();
+    for (target_rows, &target) in rows.chunks(rows_per_target).zip(&targets) {
+        println!("#### target: {} — {}", target.name(), target.description());
+        println!();
+        let mut our_axt_wins_for_this_work = 0usize;
+        let mut proposed_beats_paren = 0usize;
+        for (block_rows, &(m, n)) in target_rows.chunks(Method::ALL.len()).zip(&fields) {
+            let measured: Vec<MeasuredRow> = block_rows.iter().filter_map(measured_row).collect();
+            for row in block_rows {
+                if let Err(e) = &row.result {
+                    failures += 1;
+                    eprintln!(
+                        "[{}] ({m},{n}) {}: {e}",
+                        target.name(),
+                        row.job.method.name()
+                    );
+                }
             }
-        }
-        println!("== measured ==");
-        print!("{}", format_field_block(m, n, &measured));
-        if let Some(paper) = PAPER_TABLE_V.iter().find(|b| (b.m, b.n) == (m, n)) {
-            println!("== paper ==");
-            for p in &paper.rows {
-                println!(
-                    "  {:<10} {:>6} {:>7} {:>9.2} {:>11.2}",
-                    p.citation,
-                    p.luts,
-                    p.slices,
-                    p.time_ns,
-                    p.area_time()
-                );
+            println!("== measured ==");
+            print!("{}", format_field_block(m, n, &measured));
+            if target == Target::Artix7 {
+                if let Some(paper) = PAPER_TABLE_V.iter().find(|b| (b.m, b.n) == (m, n)) {
+                    println!("== paper ==");
+                    for p in &paper.rows {
+                        println!(
+                            "  {:<10} {:>6} {:>7} {:>9.2} {:>11.2}",
+                            p.citation,
+                            p.luts,
+                            p.slices,
+                            p.time_ns,
+                            p.area_time()
+                        );
+                    }
+                }
             }
-        }
-        let winner = axt_winner(&measured);
-        println!("  measured A×T winner: {winner}");
-        if winner == "This work" {
-            our_axt_wins_for_this_work += 1;
-        }
-        let paren = measured.iter().find(|r| r.citation == "[7]");
-        let tw = measured.iter().find(|r| r.citation == "This work");
-        if let (Some(paren), Some(tw)) = (paren, tw) {
-            if tw.area_time() < paren.area_time() {
-                proposed_beats_paren += 1;
+            let winner = axt_winner(&measured);
+            println!("  measured A×T winner: {winner}");
+            if winner == "This work" {
+                our_axt_wins_for_this_work += 1;
             }
+            let paren = measured.iter().find(|r| r.citation == "[7]");
+            let tw = measured.iter().find(|r| r.citation == "This work");
+            if let (Some(paren), Some(tw)) = (paren, tw) {
+                if tw.area_time() < paren.area_time() {
+                    proposed_beats_paren += 1;
+                }
+            }
+            println!();
         }
+        let fields_run = fields.len();
+        println!(
+            "shape summary for {} over {fields_run} fields:",
+            target.name()
+        );
+        println!(
+            "  'This work' A×T wins: {our_axt_wins_for_this_work}/{fields_run} (paper, artix7: 7/9)"
+        );
+        println!(
+            "  proposed beats [7] (parenthesised) on A×T: {proposed_beats_paren}/{fields_run} (paper, artix7: 9/9)"
+        );
         println!();
     }
-    let fields_run = fields.len();
-    println!("shape summary over {fields_run} fields:");
-    println!("  'This work' A×T wins: {our_axt_wins_for_this_work}/{fields_run} (paper: 7/9)");
-    println!(
-        "  proposed beats [7] (parenthesised) on A×T: {proposed_beats_paren}/{fields_run} (paper: 9/9)"
-    );
 
     if let Some(path) = arg_value(&args, "--json") {
         std::fs::write(&path, rows_to_json(&rows, runner.base_seed()))

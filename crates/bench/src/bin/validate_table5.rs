@@ -1,14 +1,15 @@
-//! Schema-validates a `rgf2m-table5/1` JSON artifact (as emitted by
-//! `table5 --json PATH`): schema tag, non-empty whole six-method blocks
-//! in the paper's row order, positive LUTs / slices / depth / ns on
-//! every row.
+//! Schema-validates a `rgf2m-table5/2` JSON artifact (as emitted by
+//! `table5 --json PATH` or `crosstarget --json PATH`): schema tag,
+//! non-empty whole six-method blocks in the paper's row order, a
+//! registered target fabric uniform within each block, positive LUTs /
+//! slices / depth / ns on every row.
 //!
 //! Usage:
 //!   validate_table5 PATH    # exit 0 and print a summary, or exit 1
 //!
-//! CI runs the batch runner on GF(2^8) for all six methods and then
-//! this validator, so the machine-readable export can never silently
-//! rot.
+//! CI runs the batch runner on GF(2^8) for all six methods (on two
+//! different targets) and then this validator, so the machine-readable
+//! export can never silently rot.
 
 use rgf2m_bench::validate_table5_json;
 

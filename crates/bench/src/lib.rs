@@ -2,10 +2,11 @@
 //! Criterion benches.
 //!
 //! The Table V method set comes from the unified registry
-//! ([`rgf2m_core::Method::ALL`], paper row order); this crate adds the
-//! paper's published numbers ([`paper_data`]), the per-field flow
-//! drivers, the parallel [`BatchRunner`] ([`batch`]) and the structured
-//! JSON/CSV report writers ([`report`]).
+//! ([`rgf2m_core::Method::ALL`], paper row order) and the fabric set
+//! from the target registry ([`rgf2m_fpga::Target::ALL`]); this crate
+//! adds the paper's published numbers ([`paper_data`]), the per-field
+//! flow drivers, the parallel [`BatchRunner`] ([`batch`]) and the
+//! structured JSON/CSV report writers ([`report`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -19,9 +20,9 @@ use gf2poly::TypeIiPentanomial;
 use netlist::Netlist;
 use rgf2m_core::gen::MultiplierGenerator;
 use rgf2m_core::Method;
-use rgf2m_fpga::{FpgaFlow, ImplReport, Pipeline, PlaceOptions};
+use rgf2m_fpga::{ImplReport, Pipeline, PlaceOptions};
 
-pub use batch::{table_v_jobs, BatchRow, BatchRunner, Job};
+pub use batch::{cross_target_jobs, table_v_jobs, table_v_jobs_on, BatchRow, BatchRunner, Job};
 pub use report::{rows_to_csv, rows_to_json, validate_table5_json, TABLE5_SCHEMA};
 
 /// The six methods of the paper's Table V, in its row order:
@@ -72,18 +73,27 @@ pub fn generate_row_netlist(gen: &dyn MultiplierGenerator, field: &Field) -> Net
     gen.generate(field)
 }
 
-/// Runs the full FPGA flow for every method on one field.
+/// Runs the full FPGA flow for every method on one field through one
+/// pipeline (and therefore one target).
 ///
-/// Soft-deprecated: this is the legacy panicking path (invalid pairs
-/// and verification failures abort). Prefer [`BatchRunner::run_rows`]
-/// over [`table_v_jobs`], which reports per-job `FlowError`s instead.
-pub fn run_table_v_field(m: usize, n: usize, flow: &FpgaFlow) -> Vec<MeasuredRow> {
+/// This is the quick in-process driver; it panics on the first flow
+/// error. Prefer [`BatchRunner::run_rows`] over [`table_v_jobs`] /
+/// [`cross_target_jobs`], which reports per-job `FlowError`s instead
+/// and parallelizes.
+///
+/// # Panics
+///
+/// Panics if `(m, n)` is not a valid Table V pair or any method's flow
+/// fails.
+pub fn run_table_v_field(m: usize, n: usize, pipeline: &Pipeline) -> Vec<MeasuredRow> {
     let field = field_for(m, n);
     Method::ALL
         .iter()
         .map(|method| {
             let net = method.generator().generate(&field);
-            let report: ImplReport = flow.run(&net);
+            let report: ImplReport = pipeline
+                .run_report(&net)
+                .unwrap_or_else(|e| panic!("({m},{n}) {}: {e}", method.name()));
             MeasuredRow {
                 citation: method.citation(),
                 luts: report.luts,
@@ -145,17 +155,11 @@ pub fn harness_place_options() -> PlaceOptions {
     }
 }
 
-/// A flow tuned for harness runs: deterministic, with a bounded
+/// A pipeline tuned for harness runs: deterministic, with a bounded
 /// annealing budget ([`HARNESS_MAX_TOTAL_MOVES`], an exact proposal
-/// cap) so the largest fields stay tractable.
-///
-/// Soft-deprecated: prefer [`harness_pipeline`].
-pub fn harness_flow() -> FpgaFlow {
-    FpgaFlow::new().with_place_options(harness_place_options())
-}
-
-/// The fallible [`Pipeline`] equivalent of [`harness_flow`]: same
-/// deterministic seed and exact bounded annealing budget.
+/// cap) so the largest fields stay tractable. Targets the default
+/// Artix-7 fabric; retarget with `Pipeline::with_target` (the
+/// [`BatchRunner`] does this per job).
 pub fn harness_pipeline() -> Pipeline {
     Pipeline::new().with_place_options(harness_place_options())
 }
@@ -177,7 +181,7 @@ mod tests {
 
     #[test]
     fn run_table_v_smallest_field() {
-        let rows = run_table_v_field(8, 2, &harness_flow());
+        let rows = run_table_v_field(8, 2, &harness_pipeline());
         assert_eq!(rows.len(), 6);
         for r in &rows {
             assert!(r.luts > 0 && r.time_ns > 0.0, "{r:?}");
@@ -188,23 +192,16 @@ mod tests {
     }
 
     #[test]
-    fn harness_flow_is_pinned_to_the_documented_budget() {
+    fn harness_pipeline_is_pinned_to_the_documented_budget() {
         // The doc contract: deterministic, with an exact bounded
         // annealing budget. Pin the actual options so the doc can't
         // silently rot again.
-        for opts in [
-            harness_flow().place_options().clone(),
-            harness_pipeline().place_options().clone(),
-        ] {
-            assert_eq!(opts.seed, HARNESS_SEED);
-            assert_eq!(opts.max_total_moves, HARNESS_MAX_TOTAL_MOVES);
-        }
-        // And the harness pipeline must otherwise match the flow shim.
-        let field = field_for(8, 2);
-        let net = rgf2m_core::generate(&field, Method::ProposedFlat);
-        let a = harness_flow().run(&net);
-        let b = harness_pipeline().run_report(&net).unwrap();
-        assert_eq!(a, b);
+        let opts = harness_pipeline().place_options().clone();
+        assert_eq!(opts.seed, HARNESS_SEED);
+        assert_eq!(opts.max_total_moves, HARNESS_MAX_TOTAL_MOVES);
+        // And the harness pipeline targets the paper's fabric.
+        assert_eq!(harness_pipeline().target(), rgf2m_fpga::Target::Artix7);
+        harness_pipeline().validate().expect("harness config valid");
     }
 
     #[test]

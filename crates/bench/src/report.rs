@@ -8,17 +8,21 @@
 //! (fixed field order, fixed float precision, no timestamps).
 
 use rgf2m_core::Method;
+use rgf2m_fpga::Target;
 
 use crate::batch::BatchRow;
 
-/// Schema tag stamped into every Table V JSON export.
-pub const TABLE5_SCHEMA: &str = "rgf2m-table5/1";
+/// Schema tag stamped into every Table V JSON export. `/2` added the
+/// per-row `target` field (the fabric the row was implemented on);
+/// `/1` documents, which lacked it, no longer validate.
+pub const TABLE5_SCHEMA: &str = "rgf2m-table5/2";
 
-/// Serializes batch rows as the `rgf2m-table5/1` JSON document.
+/// Serializes batch rows as the `rgf2m-table5/2` JSON document.
 ///
 /// Successful rows carry the measured quadruple plus the paper's
 /// `area_time` metric; failed rows carry `"ok": false` and the error
-/// message. Byte-identical for identical inputs.
+/// message. Every row names its target fabric. Byte-identical for
+/// identical inputs.
 pub fn rows_to_json(rows: &[BatchRow], base_seed: u64) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -28,11 +32,12 @@ pub fn rows_to_json(rows: &[BatchRow], base_seed: u64) -> String {
     for (i, row) in rows.iter().enumerate() {
         s.push_str("    {");
         s.push_str(&format!(
-            "\"m\": {}, \"n\": {}, \"method\": {}, \"citation\": {}, \"seed\": {}",
+            "\"m\": {}, \"n\": {}, \"method\": {}, \"citation\": {}, \"target\": {}, \"seed\": {}",
             row.job.m,
             row.job.n,
             json_string(row.job.method.name()),
             json_string(row.job.method.citation()),
+            json_string(row.job.target.name()),
             row.seed
         ));
         match &row.result {
@@ -63,16 +68,18 @@ pub fn rows_to_json(rows: &[BatchRow], base_seed: u64) -> String {
 /// Serializes batch rows as CSV (header + one line per job, errors in
 /// the trailing column). Byte-identical for identical inputs.
 pub fn rows_to_csv(rows: &[BatchRow]) -> String {
-    let mut s =
-        String::from("m,n,method,citation,seed,ok,luts,slices,depth,time_ns,area_time,error\n");
+    let mut s = String::from(
+        "m,n,method,citation,target,seed,ok,luts,slices,depth,time_ns,area_time,error\n",
+    );
     for row in rows {
         match &row.result {
             Ok(r) => s.push_str(&format!(
-                "{},{},{},{},{},true,{},{},{},{:.4},{:.4},\n",
+                "{},{},{},{},{},{},true,{},{},{},{:.4},{:.4},\n",
                 row.job.m,
                 row.job.n,
                 row.job.method.name(),
                 csv_field(row.job.method.citation()),
+                row.job.target.name(),
                 row.seed,
                 r.luts,
                 r.slices,
@@ -81,11 +88,12 @@ pub fn rows_to_csv(rows: &[BatchRow]) -> String {
                 r.area_time()
             )),
             Err(e) => s.push_str(&format!(
-                "{},{},{},{},{},false,,,,,,{}\n",
+                "{},{},{},{},{},{},false,,,,,,{}\n",
                 row.job.m,
                 row.job.n,
                 row.job.method.name(),
                 csv_field(row.job.method.citation()),
+                row.job.target.name(),
                 row.seed,
                 csv_field(&e.to_string())
             )),
@@ -361,9 +369,11 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
 // Schema validation for the table5 artifact.
 // ---------------------------------------------------------------------
 
-/// Validates a `rgf2m-table5/1` JSON document: schema tag, non-empty
+/// Validates a `rgf2m-table5/2` JSON document: schema tag, non-empty
 /// row set, whole six-method blocks in the paper's row order, every
-/// row `ok` with positive LUTs / slices / depth / time. Returns a short
+/// row naming a registered target fabric and `ok` with positive LUTs /
+/// slices / depth / time. Within each six-method block the target must
+/// be uniform (one block = one field on one fabric). Returns a short
 /// human-readable summary on success.
 pub fn validate_table5_json(text: &str) -> Result<String, String> {
     let doc = parse_json(text)?;
@@ -388,6 +398,8 @@ pub fn validate_table5_json(text: &str) -> Result<String, String> {
             Method::ALL.len()
         ));
     }
+    let mut targets_seen: Vec<String> = Vec::new();
+    let mut block_target: Option<String> = None;
     for (i, row) in rows.iter().enumerate() {
         let method = Method::ALL[i % Method::ALL.len()];
         let ctx = |field: &str| format!("row {i}: {field}");
@@ -411,6 +423,24 @@ pub fn validate_table5_json(text: &str) -> Result<String, String> {
                 method.citation()
             ));
         }
+        let target = row
+            .get("target")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| ctx("missing \"target\""))?;
+        if Target::from_name(target).is_none() {
+            return Err(format!("row {i}: unknown target {target:?}"));
+        }
+        if i % Method::ALL.len() == 0 {
+            block_target = Some(target.to_string());
+        } else if block_target.as_deref() != Some(target) {
+            return Err(format!(
+                "row {i}: target {target:?} differs from its block's {:?}",
+                block_target.as_deref().unwrap_or("<none>")
+            ));
+        }
+        if !targets_seen.iter().any(|t| t == target) {
+            targets_seen.push(target.to_string());
+        }
         if row.get("ok").and_then(JsonValue::as_bool) != Some(true) {
             let err = row
                 .get("error")
@@ -429,9 +459,10 @@ pub fn validate_table5_json(text: &str) -> Result<String, String> {
         }
     }
     Ok(format!(
-        "{} rows in {} six-method block(s), all ok, paper row order respected",
+        "{} rows in {} six-method block(s) over {} target(s), all ok, paper row order respected",
         rows.len(),
-        rows.len() / Method::ALL.len()
+        rows.len() / Method::ALL.len(),
+        targets_seen.len()
     ))
 }
 
@@ -498,7 +529,53 @@ mod tests {
     fn validator_rejects_broken_documents() {
         assert!(validate_table5_json("{}").is_err());
         assert!(validate_table5_json(r#"{"schema": "other", "rows": []}"#).is_err());
+        // The previous schema revision is rejected by tag.
+        assert!(validate_table5_json(r#"{"schema": "rgf2m-table5/1", "rows": []}"#).is_err());
         let empty = format!(r#"{{"schema": "{TABLE5_SCHEMA}", "rows": []}}"#);
         assert!(validate_table5_json(&empty).is_err());
+    }
+
+    /// A minimal valid six-row block with a per-row target override.
+    fn block_doc(target_of: impl Fn(usize) -> &'static str) -> String {
+        let rows: Vec<String> = Method::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                format!(
+                    "    {{\"m\": 8, \"n\": 2, \"method\": {}, \"citation\": {}, \
+                     \"target\": {}, \"seed\": 1, \"ok\": true, \"luts\": 33, \
+                     \"slices\": 11, \"depth\": 3, \"time_ns\": 9.7, \"area_time\": 320.1}}",
+                    json_string(m.name()),
+                    json_string(m.citation()),
+                    json_string(target_of(i)),
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"schema\": \"{TABLE5_SCHEMA}\",\n  \"base_seed\": 2018,\n  \"rows\": [\n{}\n  ]\n}}\n",
+            rows.join(",\n")
+        )
+    }
+
+    #[test]
+    fn validator_enforces_known_uniform_block_targets() {
+        let ok = block_doc(|_| "virtex5");
+        let summary = validate_table5_json(&ok).unwrap();
+        assert!(summary.contains("1 target(s)"), "{summary}");
+        // An unregistered fabric name is rejected...
+        let unknown = block_doc(|_| "ise_14_7");
+        assert!(validate_table5_json(&unknown)
+            .unwrap_err()
+            .contains("unknown target"));
+        // ...and so is a block whose rows disagree on the fabric.
+        let mixed = block_doc(|i| if i == 3 { "spartan3" } else { "artix7" });
+        assert!(validate_table5_json(&mixed)
+            .unwrap_err()
+            .contains("differs from its block's"));
+        // A row with no target at all fails too.
+        let stripped = block_doc(|_| "artix7").replace("\"target\": \"artix7\", ", "");
+        assert!(validate_table5_json(&stripped)
+            .unwrap_err()
+            .contains("missing \"target\""));
     }
 }

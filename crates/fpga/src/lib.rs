@@ -1,37 +1,46 @@
 //! FPGA synthesis substrate: technology mapping, packing, placement and
-//! static timing for Artix-7-class devices.
+//! static timing for a registry of LUT-based fabrics.
 //!
 //! The paper evaluates its multipliers *post-place-and-route* on a
 //! Xilinx Artix-7 (ISE 14.7 / XST). That flow is proprietary; this crate
 //! implements the equivalent pipeline from scratch so the workspace can
 //! regenerate Table V end to end (see DESIGN.md §2 for the substitution
-//! argument):
+//! argument) — and, because the paper's premise is *reconfigurable*
+//! implementation, generalises the fabric behind a [`Target`] registry
+//! (k = 4/6/8, different slice capacities) so the same constructions can
+//! be compared across LUT structures:
 //!
 //! 0. [`resynth`] — technology-independent XOR-cluster re-association
 //!    (the "synthesizer freedom" the paper's flat method exists to
 //!    exploit);
-//! 1. [`map`] — **priority-cuts k-LUT technology mapping** (k = 6):
-//!    depth-oriented labelling followed by area-flow refinement, with a
-//!    fanout-preserving mode that models a conservative synthesiser and
-//!    a free mode that models full restructuring freedom;
+//! 1. [`map`] — **priority-cuts k-LUT technology mapping**
+//!    (k ≤ [`lut::MAX_LUT_INPUTS`]): depth-oriented labelling followed
+//!    by area-flow refinement, with a fanout-preserving mode that models
+//!    a conservative synthesiser and a free mode that models full
+//!    restructuring freedom;
 //! 2. [`lut`] — the mapped LUT netlist, with truth-table extraction and
 //!    bit-parallel simulation for *post-mapping re-verification*;
-//! 3. [`pack`] — slice packing (4 LUT6 per slice, connectivity-driven);
+//! 3. [`pack`] — slice packing (capacity from the target device,
+//!    connectivity-driven);
 //! 4. [`place`] — deterministic simulated-annealing placement on a slice
 //!    grid;
 //! 5. [`timing`] — static timing with IOB, LUT, fanout and wire-length
-//!    dependent net delays;
+//!    dependent net delays (constants from the target device);
 //! 6. [`pipeline`] — the end-to-end [`pipeline::Pipeline`]: fallible
-//!    (`Result<FlowArtifacts, FlowError>`), staged, and memoized per
-//!    input design, producing the LUTs / Slices / ns / A×T quadruple of
-//!    the paper's Table V ([`flow::FpgaFlow`] remains as a
-//!    soft-deprecated panicking shim).
+//!    (`Result<FlowArtifacts, FlowError>`), staged, memoized per input
+//!    design and **target-derived** ([`Pipeline::with_target`] is the
+//!    one device knob), producing the LUTs / Slices / ns / A×T quadruple
+//!    of the paper's Table V.
+//!
+//! The historical `FpgaFlow` facade (panicking, uncached) is gone; see
+//! the repository README's "Upgrading" section for the one-line
+//! migration to [`Pipeline`].
 //!
 //! # Examples
 //!
 //! ```
 //! use netlist::Netlist;
-//! use rgf2m_fpga::Pipeline;
+//! use rgf2m_fpga::{Pipeline, Target};
 //!
 //! let mut net = Netlist::new("xor3");
 //! let a = net.input("a");
@@ -44,6 +53,10 @@
 //! let report = Pipeline::new().run_report(&net)?;
 //! assert_eq!(report.luts, 1);          // a 3-input XOR fits one LUT6
 //! assert!(report.time_ns > 0.0);
+//!
+//! // The same design on a narrow Spartan-class fabric, one knob away:
+//! let narrow = Pipeline::new().with_target(Target::Spartan3);
+//! assert_eq!(narrow.run_report(&net)?.luts, 1); // still one LUT4
 //! # Ok::<(), rgf2m_fpga::FlowError>(())
 //! ```
 
@@ -51,18 +64,18 @@
 #![warn(missing_docs)]
 
 pub mod device;
-pub mod flow;
 pub mod lut;
 pub mod map;
 pub mod pack;
 pub mod pipeline;
 pub mod place;
 pub mod resynth;
+pub mod target;
 pub mod timing;
 
 pub use device::Device;
-pub use flow::{FlowArtifacts, FpgaFlow, ImplReport};
 pub use lut::LutNetlist;
 pub use map::{MapMode, MapOptions};
-pub use pipeline::{FlowError, Pipeline};
+pub use pipeline::{FlowArtifacts, FlowError, ImplReport, Pipeline};
 pub use place::{PlaceOptions, PlaceStats};
+pub use target::Target;

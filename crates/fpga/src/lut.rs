@@ -1,6 +1,11 @@
 //! The mapped LUT-level netlist.
 
 use std::fmt;
+use std::ops::{BitAnd, BitXor, Not};
+
+/// The widest LUT any registered target offers (the Stratix-ALM-like
+/// fabric's 8-input mode); truth tables are sized for this.
+pub const MAX_LUT_INPUTS: usize = 8;
 
 /// A signal feeding a LUT input or a primary output.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -13,17 +18,118 @@ pub enum Signal {
     Const(bool),
 }
 
+/// A LUT truth table over up to [`MAX_LUT_INPUTS`] variables: 2^8 = 256
+/// entries, stored as four little-endian `u64` words (entry `idx` is
+/// bit `idx % 64` of word `idx / 64`).
+///
+/// For tables over `k ≤ 6` variables only the low word is populated;
+/// [`Truth::of`] (and `From<u64>`) build those directly from the
+/// familiar single-word encoding.
+///
+/// # Examples
+///
+/// ```
+/// use rgf2m_fpga::lut::Truth;
+///
+/// let xor2 = Truth::of(0b0110);
+/// assert!(!xor2.bit(0) && xor2.bit(1) && xor2.bit(2) && !xor2.bit(3));
+/// assert_eq!((!xor2).mask(2), Truth::of(0b1001));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Truth(pub [u64; 4]);
+
+impl Truth {
+    /// The all-zero (constant false) table.
+    pub const ZERO: Truth = Truth([0; 4]);
+    /// The all-one (constant true) table.
+    pub const ONES: Truth = Truth([u64::MAX; 4]);
+
+    /// A table whose low 64 entries are the bits of `low` (the classic
+    /// single-`u64` encoding for `k ≤ 6`) and whose high entries are 0.
+    pub const fn of(low: u64) -> Truth {
+        Truth([low, 0, 0, 0])
+    }
+
+    /// Entry `idx` of the table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx ≥ 256`.
+    pub fn bit(self, idx: usize) -> bool {
+        (self.0[idx / 64] >> (idx % 64)) & 1 == 1
+    }
+
+    /// Keeps only the entries a `vars`-variable function uses (the low
+    /// `2^vars`), zeroing the rest — so tables of functions with
+    /// different variable counts compare predictably.
+    pub fn mask(self, vars: usize) -> Truth {
+        if vars >= MAX_LUT_INPUTS {
+            return self;
+        }
+        let entries = 1usize << vars;
+        let mut w = self.0;
+        for (i, word) in w.iter_mut().enumerate() {
+            let base = i * 64;
+            if base + 64 <= entries {
+                // fully populated word: keep
+            } else if base >= entries {
+                *word = 0;
+            } else {
+                *word &= (1u64 << (entries - base)) - 1;
+            }
+        }
+        Truth(w)
+    }
+}
+
+impl From<u64> for Truth {
+    fn from(low: u64) -> Truth {
+        Truth::of(low)
+    }
+}
+
+impl Not for Truth {
+    type Output = Truth;
+    fn not(self) -> Truth {
+        Truth(self.0.map(|w| !w))
+    }
+}
+
+impl BitAnd for Truth {
+    type Output = Truth;
+    fn bitand(self, rhs: Truth) -> Truth {
+        Truth([
+            self.0[0] & rhs.0[0],
+            self.0[1] & rhs.0[1],
+            self.0[2] & rhs.0[2],
+            self.0[3] & rhs.0[3],
+        ])
+    }
+}
+
+impl BitXor for Truth {
+    type Output = Truth;
+    fn bitxor(self, rhs: Truth) -> Truth {
+        Truth([
+            self.0[0] ^ rhs.0[0],
+            self.0[1] ^ rhs.0[1],
+            self.0[2] ^ rhs.0[2],
+            self.0[3] ^ rhs.0[3],
+        ])
+    }
+}
+
 /// One k-input LUT: its input signals and truth table.
 ///
-/// Bit `idx` of `truth` is the output for the input assignment where
-/// input `i` contributes bit `i` of `idx`. With `k ≤ 6` the table fits a
-/// single `u64`.
+/// Entry `idx` of `truth` is the output for the input assignment where
+/// input `i` contributes bit `i` of `idx`; with `k ≤ `
+/// [`MAX_LUT_INPUTS`] the table fits a [`Truth`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Lut {
     /// Input signals, low index = low truth-table variable.
     pub inputs: Vec<Signal>,
     /// Truth table over the inputs.
-    pub truth: u64,
+    pub truth: Truth,
 }
 
 /// A technology-mapped netlist of k-input LUTs.
@@ -95,7 +201,7 @@ impl LutNetlist {
     /// # Panics
     ///
     /// Panics if `lut` is out of range.
-    pub fn set_truth(&mut self, lut: u32, truth: u64) {
+    pub fn set_truth(&mut self, lut: u32, truth: Truth) {
         self.luts[lut as usize].truth = truth;
     }
 
@@ -150,7 +256,7 @@ impl LutNetlist {
                         idx |= 1 << bit;
                     }
                 }
-                if (lut.truth >> idx) & 1 == 1 {
+                if lut.truth.bit(idx) {
                     out |= 1 << lane;
                 }
             }
@@ -213,7 +319,7 @@ mod tests {
         let mut n = LutNetlist::new("x".into(), 6, vec!["a".into(), "b".into()]);
         let id = n.push_lut(Lut {
             inputs: vec![Signal::Input(0), Signal::Input(1)],
-            truth: 0b0110,
+            truth: Truth::of(0b0110),
         });
         n.push_output("y".into(), Signal::Lut(id));
         n
@@ -233,11 +339,11 @@ mod tests {
         let mut n = LutNetlist::new("c".into(), 6, vec!["a".into()]);
         let l0 = n.push_lut(Lut {
             inputs: vec![Signal::Input(0)],
-            truth: 0b01, // NOT a
+            truth: Truth::of(0b01), // NOT a
         });
         let l1 = n.push_lut(Lut {
             inputs: vec![Signal::Lut(l0)],
-            truth: 0b01, // NOT again
+            truth: Truth::of(0b01), // NOT again
         });
         n.push_output("y".into(), Signal::Lut(l1));
         assert_eq!(n.depth(), 2);
@@ -259,11 +365,11 @@ mod tests {
         let mut n = LutNetlist::new("f".into(), 6, vec!["a".into(), "b".into()]);
         let l0 = n.push_lut(Lut {
             inputs: vec![Signal::Input(0), Signal::Input(1)],
-            truth: 0b1000,
+            truth: Truth::of(0b1000),
         });
         let l1 = n.push_lut(Lut {
             inputs: vec![Signal::Lut(l0)],
-            truth: 0b01,
+            truth: Truth::of(0b01),
         });
         n.push_output("y0".into(), Signal::Lut(l0));
         n.push_output("y1".into(), Signal::Lut(l1));
@@ -276,7 +382,62 @@ mod tests {
         let mut n = LutNetlist::new("t".into(), 6, vec![]);
         n.push_lut(Lut {
             inputs: vec![Signal::Const(false); 7],
-            truth: 0,
+            truth: Truth::ZERO,
         });
+    }
+
+    #[test]
+    fn truth_bits_span_all_four_words() {
+        let mut t = Truth::ZERO;
+        assert!(!t.bit(0) && !t.bit(255));
+        t = Truth([1, 0, 0, 1 << 63]);
+        assert!(t.bit(0));
+        assert!(t.bit(255));
+        assert!(!t.bit(64) && !t.bit(128));
+        assert_eq!(!Truth::ZERO, Truth::ONES);
+    }
+
+    #[test]
+    fn truth_mask_zeroes_unused_entries() {
+        let all = Truth::ONES;
+        assert_eq!(all.mask(2), Truth::of(0b1111));
+        assert_eq!(all.mask(6), Truth::of(u64::MAX));
+        assert_eq!(all.mask(7), Truth([u64::MAX, u64::MAX, 0, 0]));
+        assert_eq!(all.mask(8), all);
+    }
+
+    #[test]
+    fn a_seven_input_lut_evaluates_via_the_high_words() {
+        // y = parity of 7 inputs: entry idx set iff popcount(idx) is odd.
+        let mut truth = Truth::ZERO;
+        for idx in 0..128usize {
+            if idx.count_ones() % 2 == 1 {
+                truth.0[idx / 64] |= 1 << (idx % 64);
+            }
+        }
+        let names: Vec<String> = (0..7).map(|i| format!("x{i}")).collect();
+        let mut n = LutNetlist::new("par7".into(), MAX_LUT_INPUTS, names);
+        let id = n.push_lut(Lut {
+            inputs: (0..7).map(Signal::Input).collect(),
+            truth,
+        });
+        n.push_output("y".into(), Signal::Lut(id));
+        // Lane l: input i carries bit i of l... use per-lane constants.
+        let inputs: Vec<u64> = (0..7)
+            .map(|i| {
+                let mut w = 0u64;
+                for lane in 0..64u64 {
+                    if (lane >> i) & 1 == 1 {
+                        w |= 1 << lane;
+                    }
+                }
+                w
+            })
+            .collect();
+        let out = n.eval_words(&inputs)[0];
+        for lane in 0..64u64 {
+            let expect = lane.count_ones() % 2 == 1;
+            assert_eq!((out >> lane) & 1 == 1, expect, "lane {lane}");
+        }
     }
 }

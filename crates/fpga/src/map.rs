@@ -9,7 +9,7 @@ use std::collections::HashMap;
 
 use netlist::{analysis, Gate, Netlist, NodeId};
 
-use crate::lut::{Lut, LutNetlist, Signal};
+use crate::lut::{Lut, LutNetlist, Signal, Truth, MAX_LUT_INPUTS};
 
 /// How much restructuring freedom the mapper has.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -28,7 +28,7 @@ pub enum MapMode {
 /// Options controlling [`map_to_luts`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MapOptions {
-    /// LUT input width `k` (≤ 6).
+    /// LUT input width `k` (≤ [`MAX_LUT_INPUTS`]).
     pub k: usize,
     /// Priority-cut list length per node.
     pub cuts_per_node: usize,
@@ -50,10 +50,13 @@ impl MapOptions {
     ///
     /// # Panics
     ///
-    /// Panics if `k` is 0 or greater than 6 (truth tables are stored in
-    /// one `u64`).
+    /// Panics if `k` is 0 or greater than [`MAX_LUT_INPUTS`] (truth
+    /// tables are stored in one [`Truth`]).
     pub fn with_k(mut self, k: usize) -> Self {
-        assert!((1..=6).contains(&k), "k must be in 1..=6");
+        assert!(
+            (1..=MAX_LUT_INPUTS).contains(&k),
+            "k must be in 1..={MAX_LUT_INPUTS}"
+        );
         self.k = k;
         self
     }
@@ -143,9 +146,12 @@ struct NodeInfo {
 ///
 /// # Panics
 ///
-/// Panics if `opts.k > 6`.
+/// Panics if `opts.k > MAX_LUT_INPUTS`.
 pub fn map_to_luts(net: &Netlist, opts: &MapOptions) -> LutNetlist {
-    assert!(opts.k <= 6, "truth tables limited to k <= 6");
+    assert!(
+        opts.k <= MAX_LUT_INPUTS,
+        "truth tables limited to k <= {MAX_LUT_INPUTS}"
+    );
     let n = net.len();
     let fanouts = analysis::fanouts(net);
     let mut info: Vec<NodeInfo> = Vec::with_capacity(n);
@@ -314,11 +320,12 @@ fn signal_for(net: &Netlist, idx: usize, lut_of: &HashMap<usize, u32>) -> Signal
     }
 }
 
-/// Truth table of the cone rooted at `root` with the given leaves, over
-/// ≤ 6 variables.
-fn cone_truth(net: &Netlist, root: usize, leaves: &[u32]) -> u64 {
-    /// Standard truth-table input patterns for up to 6 variables.
-    const PATTERNS: [u64; 6] = [
+/// The truth-table pattern of variable `v`: entry `idx` is set iff bit
+/// `v` of `idx` is. Variables 0..6 repeat a classic single-word pattern
+/// across all four words; variables 6 and 7 select whole words (bit 6
+/// of `idx` is bit 0 of the word index, bit 7 is bit 1).
+fn var_pattern(v: usize) -> Truth {
+    const P6: [u64; 6] = [
         0xAAAA_AAAA_AAAA_AAAA,
         0xCCCC_CCCC_CCCC_CCCC,
         0xF0F0_F0F0_F0F0_F0F0,
@@ -326,17 +333,28 @@ fn cone_truth(net: &Netlist, root: usize, leaves: &[u32]) -> u64 {
         0xFFFF_0000_FFFF_0000,
         0xFFFF_FFFF_0000_0000,
     ];
-    let mut memo: HashMap<usize, u64> = HashMap::new();
-    for (v, &leaf) in leaves.iter().enumerate() {
-        memo.insert(leaf as usize, PATTERNS[v]);
+    match v {
+        0..=5 => Truth([P6[v]; 4]),
+        6 => Truth([0, u64::MAX, 0, u64::MAX]),
+        7 => Truth([0, 0, u64::MAX, u64::MAX]),
+        _ => panic!("variable {v} exceeds MAX_LUT_INPUTS"),
     }
-    fn eval(net: &Netlist, idx: usize, memo: &mut HashMap<usize, u64>) -> u64 {
+}
+
+/// Truth table of the cone rooted at `root` with the given leaves, over
+/// ≤ [`MAX_LUT_INPUTS`] variables.
+fn cone_truth(net: &Netlist, root: usize, leaves: &[u32]) -> Truth {
+    let mut memo: HashMap<usize, Truth> = HashMap::new();
+    for (v, &leaf) in leaves.iter().enumerate() {
+        memo.insert(leaf as usize, var_pattern(v));
+    }
+    fn eval(net: &Netlist, idx: usize, memo: &mut HashMap<usize, Truth>) -> Truth {
         if let Some(&w) = memo.get(&idx) {
             return w;
         }
         let w = match net.gate(net.node_id(idx)) {
-            Gate::Const(false) => 0,
-            Gate::Const(true) => u64::MAX,
+            Gate::Const(false) => Truth::ZERO,
+            Gate::Const(true) => Truth::ONES,
             Gate::Input(_) => panic!("input reached below a cut leaf"),
             Gate::And(a, b) => eval(net, a.index(), memo) & eval(net, b.index(), memo),
             Gate::Xor(a, b) => eval(net, a.index(), memo) ^ eval(net, b.index(), memo),
@@ -344,13 +362,8 @@ fn cone_truth(net: &Netlist, root: usize, leaves: &[u32]) -> u64 {
         memo.insert(idx, w);
         w
     }
-    let full = eval(net, root, &mut memo);
     // Mask to the populated variable count.
-    if leaves.len() >= 6 {
-        full
-    } else {
-        full & ((1u64 << (1 << leaves.len())) - 1)
-    }
+    eval(net, root, &mut memo).mask(leaves.len())
 }
 
 /// Re-verifies a mapping against its source netlist on `rounds × 64`
@@ -495,6 +508,35 @@ mod tests {
         let x = net.xor(a, b);
         net.output("y", x);
         let truth = cone_truth(&net, x.index(), &[a.index() as u32, b.index() as u32]);
-        assert_eq!(truth, 0b0110);
+        assert_eq!(truth, Truth::of(0b0110));
+    }
+
+    #[test]
+    fn var_patterns_encode_index_bits() {
+        for v in 0..MAX_LUT_INPUTS {
+            let p = var_pattern(v);
+            for idx in 0..(1usize << MAX_LUT_INPUTS) {
+                assert_eq!(p.bit(idx), (idx >> v) & 1 == 1, "var {v}, entry {idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn xor8_fits_one_wide_lut() {
+        // On a k=8 fabric an 8-input XOR is a single LUT; the truth
+        // table lives in all four words and must still verify.
+        let net = xor_tree(8);
+        let mapped = map_to_luts(&net, &MapOptions::new().with_k(8));
+        assert_eq!(mapped.num_luts(), 1, "{mapped}");
+        assert_eq!(mapped.depth(), 1);
+        assert!(verify_mapping(&net, &mapped, 8, 6));
+    }
+
+    #[test]
+    fn narrow_k4_mapping_never_exceeds_four_inputs() {
+        let net = xor_tree(24);
+        let mapped = map_to_luts(&net, &MapOptions::new().with_k(4));
+        assert!(mapped.luts().iter().all(|l| l.inputs.len() <= 4));
+        assert!(verify_mapping(&net, &mapped, 8, 7));
     }
 }

@@ -154,7 +154,7 @@ mod tests {
         for _ in 0..n {
             let id = net.push_lut(Lut {
                 inputs: vec![prev],
-                truth: 0b01,
+                truth: crate::lut::Truth::of(0b01),
             });
             prev = Signal::Lut(id);
         }
@@ -207,7 +207,7 @@ mod tests {
         for i in 0..4 {
             let id = net.push_lut(Lut {
                 inputs: vec![Signal::Input(2 * i), Signal::Input(2 * i + 1)],
-                truth: 0b0110,
+                truth: crate::lut::Truth::of(0b0110),
             });
             net.push_output(format!("y{i}"), Signal::Lut(id));
         }
@@ -223,7 +223,7 @@ mod tests {
         for i in 0..7 {
             let id = net.push_lut(Lut {
                 inputs: vec![Signal::Input(2 * i), Signal::Input(2 * i + 1)],
-                truth: 0b1000,
+                truth: crate::lut::Truth::of(0b1000),
             });
             net.push_output(format!("y{i}"), Signal::Lut(id));
         }

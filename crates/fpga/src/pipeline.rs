@@ -1,8 +1,7 @@
 //! The fallible, cacheable implementation pipeline.
 //!
-//! [`Pipeline`] is the primary entry point of this crate: the same
-//! resynth → map → verify → pack → place → time flow as the historical
-//! [`crate::flow::FpgaFlow`], but
+//! [`Pipeline`] is the primary entry point of this crate: the
+//! resynth → map → verify → pack → place → time flow,
 //!
 //! * **fallible** — every stage returns `Result<_, FlowError>` instead
 //!   of panicking, so batch drivers can keep going when one design
@@ -15,7 +14,15 @@
 //! * **memoized** — [`Pipeline::run`] caches [`FlowArtifacts`] keyed by
 //!   a stable content hash of the input netlist plus an options
 //!   fingerprint, so re-running the same design through the same
-//!   pipeline is ~free (see [`Pipeline::cache_hits`]).
+//!   pipeline is ~free (see [`Pipeline::cache_hits`]);
+//! * **target-derived** — [`Pipeline::with_target`] picks a fabric from
+//!   the [`Target`] registry and derives the device model, the mapper's
+//!   LUT width and the slice capacity from it. `with_device` /
+//!   `with_map_options` still exist for fine-tuning (e.g. custom delay
+//!   calibration, mapper mode), but [`Pipeline::validate`] rejects any
+//!   combination that contradicts the chosen target — no silent
+//!   `MapOptions::k` vs `Device::lut_inputs` mismatch can reach the
+//!   flow.
 //!
 //! # Examples
 //!
@@ -42,6 +49,26 @@
 //! assert_eq!(again.report.time_ns, artifacts.report.time_ns);
 //! # Ok::<(), rgf2m_fpga::FlowError>(())
 //! ```
+//!
+//! Retargeting is one call — everything device-derived follows:
+//!
+//! ```
+//! use rgf2m_fpga::{Pipeline, Target};
+//! # use netlist::Netlist;
+//! # let mut net = Netlist::new("x3");
+//! # let a = net.input("a");
+//! # let b = net.input("b");
+//! # let c = net.input("c");
+//! # let ab = net.xor(a, b);
+//! # let y = net.xor(ab, c);
+//! # net.output("y", y);
+//! let narrow = Pipeline::new().with_target(Target::Spartan3);
+//! assert_eq!(narrow.map_options().k, 4);
+//! assert_eq!(narrow.device().luts_per_slice, 2);
+//! let report = narrow.run_report(&net)?;
+//! assert!(report.time_ns > 0.0);
+//! # Ok::<(), rgf2m_fpga::FlowError>(())
+//! ```
 
 use std::collections::HashMap;
 use std::fmt;
@@ -51,12 +78,64 @@ use std::sync::{Arc, Mutex};
 use netlist::{Fnv1a, Netlist};
 
 use crate::device::Device;
-use crate::flow::{FlowArtifacts, ImplReport};
-use crate::lut::LutNetlist;
+use crate::lut::{LutNetlist, MAX_LUT_INPUTS};
 use crate::map::{map_to_luts, verify_mapping, MapMode, MapOptions};
 use crate::pack::{pack_slices, Packing};
 use crate::place::{place, PlaceOptions, Placement};
+use crate::target::Target;
 use crate::timing::{analyze, TimingReport};
+
+/// The quadruple the paper reports per design in Table V, plus context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImplReport {
+    /// Design name.
+    pub name: String,
+    /// Number of LUTs after mapping.
+    pub luts: usize,
+    /// Number of slices after packing.
+    pub slices: usize,
+    /// LUT logic depth.
+    pub depth: u32,
+    /// Post-place critical path in ns.
+    pub time_ns: f64,
+}
+
+impl ImplReport {
+    /// The paper's area×time metric: `LUTs × ns` (less is better).
+    pub fn area_time(&self) -> f64 {
+        self.luts as f64 * self.time_ns
+    }
+}
+
+impl fmt::Display for ImplReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} LUTs, {} slices, depth {}, {:.2} ns, A×T {:.2}",
+            self.name,
+            self.luts,
+            self.slices,
+            self.depth,
+            self.time_ns,
+            self.area_time()
+        )
+    }
+}
+
+/// All intermediate artifacts of a flow run, for inspection and tests.
+#[derive(Debug, Clone)]
+pub struct FlowArtifacts {
+    /// The mapped LUT netlist.
+    pub mapped: LutNetlist,
+    /// The slice packing.
+    pub packing: Packing,
+    /// The placement.
+    pub placement: Placement,
+    /// The timing report.
+    pub timing: TimingReport,
+    /// The summary.
+    pub report: ImplReport,
+}
 
 /// Everything that can go wrong in the implementation pipeline.
 ///
@@ -88,8 +167,9 @@ pub enum FlowError {
         capacity: usize,
     },
     /// The pipeline configuration itself is unusable (LUT width out of
-    /// `1..=6`, zero priority cuts, a degenerate device model, an
-    /// invalid field/job description...).
+    /// `1..=8`, zero priority cuts, a degenerate device model, options
+    /// contradicting the chosen [`Target`], an invalid field/job
+    /// description...).
     InvalidOptions(String),
 }
 
@@ -124,12 +204,13 @@ impl std::error::Error for FlowError {}
 
 /// The fallible, staged, memoizing implementation pipeline.
 ///
-/// Construction mirrors the old [`crate::flow::FpgaFlow`] builder; the
-/// behavioural differences are the `Result` returns and the artifact
-/// cache (shared across `&self`, so one `Pipeline` can be driven from
-/// many threads).
+/// The builder starts from the default [`Target::Artix7`] fabric;
+/// [`Pipeline::with_target`] re-derives every device-dependent option
+/// from another registry preset. The artifact cache is shared across
+/// `&self`, so one `Pipeline` can be driven from many threads.
 #[derive(Debug)]
 pub struct Pipeline {
+    target: Target,
     device: Device,
     map_options: MapOptions,
     place_options: PlaceOptions,
@@ -150,11 +231,12 @@ pub struct Pipeline {
 type CacheKey = (u64, u64);
 
 impl Pipeline {
-    /// A pipeline with the default Artix-7 device and default options
-    /// (resynthesis enabled — the XST-like behaviour), no slice-capacity
-    /// limit, and an empty artifact cache.
+    /// A pipeline targeting the default [`Target::Artix7`] fabric with
+    /// default options (resynthesis enabled — the XST-like behaviour),
+    /// no slice-capacity limit, and an empty artifact cache.
     pub fn new() -> Self {
         Pipeline {
+            target: Target::Artix7,
             device: Device::artix7(),
             map_options: MapOptions::new(),
             place_options: PlaceOptions::default(),
@@ -166,19 +248,39 @@ impl Pipeline {
         }
     }
 
+    /// Retargets the pipeline: replaces the device model with the
+    /// target's preset and re-derives the mapper's LUT width from it
+    /// (preserving the non-device mapping options — cut count and
+    /// mapper mode). This is the one knob for everything
+    /// device-dependent; later `with_device`/`with_map_options` calls
+    /// that contradict the target fail [`Pipeline::validate`].
+    pub fn with_target(mut self, target: Target) -> Self {
+        self.target = target;
+        self.device = target.device();
+        self.map_options.k = target.lut_inputs();
+        self
+    }
+
     /// Enables or disables the XOR-cluster resynthesis pass.
     pub fn with_resynthesis(mut self, on: bool) -> Self {
         self.resynthesize = on;
         self
     }
 
-    /// Replaces the device model.
+    /// Replaces the device model — for fine-tuning the delay constants
+    /// of the current target's preset (e.g. a recalibration). The
+    /// device's *shape* (`lut_inputs`, `luts_per_slice`) must keep
+    /// matching the target or [`Pipeline::validate`] rejects the
+    /// configuration; retargeting to a different shape goes through
+    /// [`Pipeline::with_target`].
     pub fn with_device(mut self, device: Device) -> Self {
         self.device = device;
         self
     }
 
-    /// Replaces the mapping options.
+    /// Replaces the mapping options. `k` must keep matching the
+    /// target's LUT width ([`Pipeline::validate`] enforces it); to
+    /// change `k`, change the target.
     pub fn with_map_options(mut self, opts: MapOptions) -> Self {
         self.map_options = opts;
         self
@@ -218,6 +320,11 @@ impl Pipeline {
         self
     }
 
+    /// The target fabric in use.
+    pub fn target(&self) -> Target {
+        self.target
+    }
+
     /// The device model in use.
     pub fn device(&self) -> &Device {
         &self.device
@@ -249,11 +356,14 @@ impl Pipeline {
     }
 
     /// Validates the configuration; every stage calls this first so no
-    /// bad option can reach a downstream `assert!`.
+    /// bad option can reach a downstream `assert!`. Beyond the basic
+    /// range checks, this is where the target acts as the single source
+    /// of truth: a `MapOptions::k` or a device shape that contradicts
+    /// the chosen [`Target`] is an error, never a silent mismatch.
     pub fn validate(&self) -> Result<(), FlowError> {
-        if !(1..=6).contains(&self.map_options.k) {
+        if !(1..=MAX_LUT_INPUTS).contains(&self.map_options.k) {
             return Err(FlowError::InvalidOptions(format!(
-                "LUT width k = {} outside 1..=6",
+                "LUT width k = {} outside 1..={MAX_LUT_INPUTS}",
                 self.map_options.k
             )));
         }
@@ -266,6 +376,28 @@ impl Pipeline {
             return Err(FlowError::InvalidOptions(
                 "device must hold at least one LUT per slice".into(),
             ));
+        }
+        if self.device.lut_inputs != self.target.lut_inputs()
+            || self.device.luts_per_slice != self.target.luts_per_slice()
+        {
+            return Err(FlowError::InvalidOptions(format!(
+                "device shape ({} inputs, {} LUTs/slice) contradicts target {} \
+                 ({} inputs, {} LUTs/slice); use Pipeline::with_target to retarget",
+                self.device.lut_inputs,
+                self.device.luts_per_slice,
+                self.target.name(),
+                self.target.lut_inputs(),
+                self.target.luts_per_slice(),
+            )));
+        }
+        if self.map_options.k != self.device.lut_inputs {
+            return Err(FlowError::InvalidOptions(format!(
+                "MapOptions k = {} contradicts target {} (LUT width {}); \
+                 set the width via Pipeline::with_target",
+                self.map_options.k,
+                self.target.name(),
+                self.device.lut_inputs,
+            )));
         }
         Ok(())
     }
@@ -423,9 +555,10 @@ impl Pipeline {
     /// A fresh pipeline with the same configuration but an **empty**
     /// cache — cheaper than [`Clone`] (which deep-copies every cached
     /// artifact), for callers that fan a template out per job with
-    /// different seeds.
+    /// different seeds or targets.
     pub fn clone_config(&self) -> Pipeline {
         Pipeline {
+            target: self.target,
             device: self.device.clone(),
             map_options: self.map_options.clone(),
             place_options: self.place_options.clone(),
@@ -438,9 +571,12 @@ impl Pipeline {
     }
 
     /// A stable fingerprint of every option that affects results; part
-    /// of the memoization key.
+    /// of the memoization key. Includes the target name, so retargeted
+    /// clones of one configuration never collide in a shared cache even
+    /// where two fabrics agree on every numeric constant.
     pub fn options_fingerprint(&self) -> u64 {
         let mut h = Fnv1a::new();
+        h.write_str(self.target.name());
         h.write_usize(self.device.lut_inputs);
         h.write_usize(self.device.luts_per_slice);
         for t in [
@@ -492,6 +628,7 @@ impl Clone for Pipeline {
     /// zero).
     fn clone(&self) -> Self {
         Pipeline {
+            target: self.target,
             device: self.device.clone(),
             map_options: self.map_options.clone(),
             place_options: self.place_options.clone(),
@@ -514,17 +651,6 @@ mod tests {
         let root = net.xor_balanced(&ins);
         net.output("y", root);
         net
-    }
-
-    #[test]
-    fn pipeline_matches_legacy_flow_results() {
-        let net = xor_tree(48);
-        let legacy = crate::flow::FpgaFlow::new().run(&net);
-        let report = Pipeline::new().run_report(&net).unwrap();
-        assert_eq!(report.luts, legacy.luts);
-        assert_eq!(report.slices, legacy.slices);
-        assert_eq!(report.depth, legacy.depth);
-        assert_eq!(report.time_ns, legacy.time_ns);
     }
 
     #[test]
@@ -552,6 +678,10 @@ mod tests {
         assert_ne!(a.cache_key(&net), b.cache_key(&net));
         let c = Pipeline::new().with_place_seed(777);
         assert_ne!(a.cache_key(&net), c.cache_key(&net));
+        // Retargeting changes the key too — a shared cache can never
+        // hand one fabric's artifacts to another.
+        let d = Pipeline::new().with_target(Target::Virtex5);
+        assert_ne!(a.cache_key(&net), d.cache_key(&net));
     }
 
     #[test]
@@ -579,6 +709,94 @@ mod tests {
             p.run(&xor_tree(8)),
             Err(FlowError::InvalidOptions(_))
         ));
+    }
+
+    #[test]
+    fn k_contradicting_the_target_is_rejected() {
+        // k = 4 is a perfectly valid LUT width — but not for an Artix-7
+        // pipeline. The historical API mapped with k=4 while packing
+        // and timing assumed LUT6; now it is a typed error.
+        let p = Pipeline::new().with_map_options(MapOptions::new().with_k(4));
+        match p.run(&xor_tree(8)) {
+            Err(FlowError::InvalidOptions(msg)) => {
+                assert!(msg.contains("contradicts target artix7"), "{msg}");
+            }
+            other => panic!("expected InvalidOptions, got {other:?}"),
+        }
+        // The same k is fine once the target says so.
+        assert!(Pipeline::new()
+            .with_target(Target::Spartan3)
+            .run(&xor_tree(8))
+            .is_ok());
+    }
+
+    #[test]
+    fn device_shape_contradicting_the_target_is_rejected() {
+        let p = Pipeline::new().with_device(Device::virtex5());
+        match p.validate() {
+            Err(FlowError::InvalidOptions(msg)) => {
+                assert!(msg.contains("contradicts target artix7"), "{msg}");
+            }
+            other => panic!("expected InvalidOptions, got {other:?}"),
+        }
+        // Same-shape recalibration stays allowed: constants are free.
+        let recal = Device {
+            t_lut_ns: 0.50,
+            ..Device::artix7()
+        };
+        assert!(Pipeline::new().with_device(recal).validate().is_ok());
+    }
+
+    #[test]
+    fn with_target_rederives_device_and_k() {
+        for target in Target::ALL {
+            let p = Pipeline::new()
+                .with_map_options(MapOptions::new().with_cuts_per_node(5))
+                .with_target(target);
+            assert_eq!(p.target(), target);
+            assert_eq!(p.device(), &target.device());
+            assert_eq!(p.map_options().k, target.lut_inputs());
+            // Non-device mapping options survive retargeting.
+            assert_eq!(p.map_options().cuts_per_node, 5);
+            p.validate().unwrap_or_else(|e| panic!("{target}: {e}"));
+        }
+    }
+
+    #[test]
+    fn every_target_runs_the_flow_end_to_end() {
+        let net = xor_tree(48);
+        for target in Target::ALL {
+            let artifacts = Pipeline::new()
+                .with_target(target)
+                .run(&net)
+                .unwrap_or_else(|e| panic!("{target}: {e}"));
+            let r = &artifacts.report;
+            assert!(r.luts > 0 && r.time_ns > 0.0, "{target}: {r:?}");
+            // No mapped LUT may exceed the fabric's input width.
+            assert!(
+                artifacts
+                    .mapped
+                    .luts()
+                    .iter()
+                    .all(|l| l.inputs.len() <= target.lut_inputs()),
+                "{target}"
+            );
+        }
+    }
+
+    #[test]
+    fn narrower_fabrics_need_more_luts_and_depth() {
+        // A 48-leaf XOR tree: LUT4 needs strictly more LUTs and levels
+        // than LUT6, which needs at least as many as the 8-input ALM.
+        let net = xor_tree(48);
+        let by_target = |t: Target| Pipeline::new().with_target(t).run_report(&net).unwrap();
+        let narrow = by_target(Target::Spartan3);
+        let mid = by_target(Target::Artix7);
+        let wide = by_target(Target::StratixAlm);
+        assert!(narrow.luts > mid.luts, "{} <= {}", narrow.luts, mid.luts);
+        assert!(narrow.depth >= mid.depth);
+        assert!(wide.luts <= mid.luts);
+        assert!(wide.depth <= mid.depth);
     }
 
     #[test]
@@ -636,6 +854,45 @@ mod tests {
         assert_eq!(whole.report.luts, mapped.num_luts());
         assert_eq!(whole.report.slices, packing.num_slices());
         assert_eq!(whole.report.time_ns, timing.critical_ns);
+    }
+
+    #[test]
+    fn pipeline_is_deterministic_across_runs() {
+        let net = xor_tree(48);
+        let r1 = Pipeline::new().run_report(&net).unwrap();
+        let r2 = Pipeline::new().run_report(&net).unwrap();
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn dead_logic_does_not_cost_luts() {
+        let mut net = Netlist::new("dead");
+        let a = net.input("a");
+        let b = net.input("b");
+        let live = net.xor(a, b);
+        let d1 = net.and(a, b);
+        let _d2 = net.xor(d1, a);
+        net.output("y", live);
+        let report = Pipeline::new().run_report(&net).unwrap();
+        assert_eq!(report.luts, 1);
+    }
+
+    #[test]
+    fn bigger_designs_cost_more_area_time() {
+        let p = Pipeline::new();
+        let small = p.run_report(&xor_tree(8)).unwrap();
+        let big = p.run_report(&xor_tree(128)).unwrap();
+        assert!(big.luts > small.luts);
+        assert!(big.area_time() > small.area_time());
+    }
+
+    #[test]
+    fn report_display_mentions_all_metrics() {
+        let r = Pipeline::new().run_report(&xor_tree(8)).unwrap();
+        let text = r.to_string();
+        assert!(text.contains("LUTs"));
+        assert!(text.contains("ns"));
+        assert!(text.contains("A×T"));
     }
 
     #[test]

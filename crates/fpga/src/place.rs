@@ -786,7 +786,7 @@ mod tests {
         for i in 0..luts {
             let id = net.push_lut(Lut {
                 inputs: vec![prev, Signal::Input((i % 2) as u32)],
-                truth: 0b0110,
+                truth: crate::lut::Truth::of(0b0110),
             });
             prev = Signal::Lut(id);
         }
@@ -804,7 +804,7 @@ mod tests {
             let y = ids[(i * 7 + 3) % ids.len()];
             let id = net.push_lut(Lut {
                 inputs: vec![x, y],
-                truth: 0b0110,
+                truth: crate::lut::Truth::of(0b0110),
             });
             ids.push(Signal::Lut(id));
         }

@@ -128,7 +128,7 @@ mod tests {
         let mut net = LutNetlist::new("t".into(), 6, vec!["a".into(), "b".into()]);
         let id = net.push_lut(Lut {
             inputs: vec![Signal::Input(0), Signal::Input(1)],
-            truth: 0b0110,
+            truth: crate::lut::Truth::of(0b0110),
         });
         net.push_output("y".into(), Signal::Lut(id));
         let d = Device::artix7();
@@ -147,7 +147,7 @@ mod tests {
             for _ in 0..depth {
                 let id = net.push_lut(Lut {
                     inputs: vec![prev],
-                    truth: 0b01,
+                    truth: crate::lut::Truth::of(0b01),
                 });
                 prev = Signal::Lut(id);
             }
@@ -165,13 +165,13 @@ mod tests {
             let mut net = LutNetlist::new("f".into(), 6, vec!["a".into()]);
             let driver = net.push_lut(Lut {
                 inputs: vec![Signal::Input(0)],
-                truth: 0b01,
+                truth: crate::lut::Truth::of(0b01),
             });
             let mut last = driver;
             for _ in 0..fanout {
                 last = net.push_lut(Lut {
                     inputs: vec![Signal::Lut(driver)],
-                    truth: 0b01,
+                    truth: crate::lut::Truth::of(0b01),
                 });
             }
             net.push_output("y".into(), Signal::Lut(last));
@@ -196,11 +196,11 @@ mod tests {
         let mut net = LutNetlist::new("m".into(), 6, vec!["a".into()]);
         let l0 = net.push_lut(Lut {
             inputs: vec![Signal::Input(0)],
-            truth: 0b01,
+            truth: crate::lut::Truth::of(0b01),
         });
         let l1 = net.push_lut(Lut {
             inputs: vec![Signal::Lut(l0)],
-            truth: 0b01,
+            truth: crate::lut::Truth::of(0b01),
         });
         net.push_output("y".into(), Signal::Lut(l1));
         let r = timed(&net);

@@ -4,7 +4,7 @@ use gf2m::Field;
 use gf2poly::TypeIiPentanomial;
 use rgf2m_core::{generate, Method};
 use rgf2m_fpga::map::MapMode;
-use rgf2m_fpga::{FpgaFlow, MapOptions};
+use rgf2m_fpga::{MapOptions, Pipeline, Target};
 
 fn gf256() -> Field {
     Field::from_pentanomial(&TypeIiPentanomial::new(8, 2).unwrap())
@@ -15,7 +15,7 @@ fn gf256_multipliers_map_pack_place_and_time() {
     let field = gf256();
     for method in Method::ALL {
         let net = generate(&field, method);
-        let artifacts = FpgaFlow::new().run_detailed(&net);
+        let artifacts = Pipeline::new().run(&net).expect("clean flow");
         let r = &artifacts.report;
         // Sanity envelopes around the paper's (8,2) row (33–40 LUTs).
         assert!(
@@ -60,14 +60,69 @@ fn test_words(n: usize) -> Vec<u64> {
 }
 
 #[test]
+fn gf256_multipliers_flow_on_every_registered_target() {
+    // The reconfigurability claim, end to end: every Table V method
+    // implements correctly on every registry fabric, within each
+    // fabric's LUT width and slice capacity.
+    let field = gf256();
+    let words = test_words(16);
+    let oracle_out = field.mul_words(&words);
+    for target in Target::ALL {
+        let pipeline = Pipeline::new().with_target(target);
+        for method in Method::ALL {
+            let net = generate(&field, method);
+            let artifacts = pipeline
+                .run(&net)
+                .unwrap_or_else(|e| panic!("{target}/{method:?}: {e}"));
+            assert!(
+                artifacts
+                    .mapped
+                    .luts()
+                    .iter()
+                    .all(|l| l.inputs.len() <= target.lut_inputs()),
+                "{target}/{method:?}: LUT exceeds k"
+            );
+            assert!(
+                artifacts.report.slices >= artifacts.report.luts.div_ceil(target.luts_per_slice()),
+                "{target}/{method:?}: packing denser than the fabric allows"
+            );
+            assert_eq!(
+                artifacts.mapped.eval_words(&words),
+                oracle_out,
+                "{target}/{method:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn narrow_fabric_costs_more_area_wide_fabric_less_depth() {
+    // Across targets the shape response must be monotone for the
+    // proposed method: LUT4 pays area/depth, the 8-input ALM saves
+    // depth relative to LUT6.
+    let field = gf256();
+    let net = generate(&field, Method::ProposedFlat);
+    let report = |t: Target| Pipeline::new().with_target(t).run_report(&net).unwrap();
+    let narrow = report(Target::Spartan3);
+    let mid = report(Target::Artix7);
+    let wide = report(Target::StratixAlm);
+    assert!(narrow.luts > mid.luts);
+    assert!(narrow.depth >= mid.depth);
+    assert!(wide.depth <= mid.depth);
+}
+
+#[test]
 fn proposed_flat_benefits_from_resynthesis() {
     // The paper's core claim, in mapping terms: giving the synthesiser
     // freedom (resynthesis on) must not hurt the flat method, and
     // usually helps its depth/area.
     let field = gf256();
     let net = generate(&field, Method::ProposedFlat);
-    let with = FpgaFlow::new().run(&net);
-    let without = FpgaFlow::new().with_resynthesis(false).run(&net);
+    let with = Pipeline::new().run_report(&net).unwrap();
+    let without = Pipeline::new()
+        .with_resynthesis(false)
+        .run_report(&net)
+        .unwrap();
     assert!(
         with.depth <= without.depth,
         "resynthesis worsened depth: {} vs {}",
@@ -87,10 +142,11 @@ fn fanout_preserving_mode_is_never_better_than_free() {
     let field = gf256();
     for method in Method::ALL {
         let net = generate(&field, method);
-        let free = FpgaFlow::new().run(&net);
-        let fp = FpgaFlow::new()
+        let free = Pipeline::new().run_report(&net).unwrap();
+        let fp = Pipeline::new()
             .with_map_options(MapOptions::new().with_mode(MapMode::FanoutPreserving))
-            .run(&net);
+            .run_report(&net)
+            .unwrap();
         assert!(
             free.depth <= fp.depth,
             "{method:?}: free depth {} > fanout-preserving {}",
@@ -104,7 +160,7 @@ fn fanout_preserving_mode_is_never_better_than_free() {
 fn larger_field_flow_is_consistent() {
     let field = Field::from_pentanomial(&TypeIiPentanomial::new(64, 23).unwrap());
     let net = generate(&field, Method::ProposedFlat);
-    let r = FpgaFlow::new().run(&net);
+    let r = Pipeline::new().run_report(&net).unwrap();
     // Paper's (64,23) row: 1769–1854 LUTs on ISE; our mapper should land
     // in the same order of magnitude.
     assert!(
@@ -120,8 +176,8 @@ fn larger_field_flow_is_consistent() {
 fn flow_reports_are_deterministic_across_runs() {
     let field = gf256();
     let net = generate(&field, Method::Imana2016);
-    let a = FpgaFlow::new().run(&net);
-    let b = FpgaFlow::new().run(&net);
+    let a = Pipeline::new().run_report(&net).unwrap();
+    let b = Pipeline::new().run_report(&net).unwrap();
     assert_eq!(a.luts, b.luts);
     assert_eq!(a.slices, b.slices);
     assert_eq!(a.time_ns, b.time_ns);
@@ -134,9 +190,15 @@ fn parallel_placement_flow_is_deterministic_and_comparable() {
     // sequential flow (it anneals the same budget, just in bands).
     let field = gf256();
     let net = generate(&field, Method::ProposedFlat);
-    let seq = FpgaFlow::new().run(&net);
-    let par_a = FpgaFlow::new().with_place_threads(4).run(&net);
-    let par_b = FpgaFlow::new().with_place_threads(4).run(&net);
+    let seq = Pipeline::new().run_report(&net).unwrap();
+    let par_a = Pipeline::new()
+        .with_place_threads(4)
+        .run_report(&net)
+        .unwrap();
+    let par_b = Pipeline::new()
+        .with_place_threads(4)
+        .run_report(&net)
+        .unwrap();
     assert_eq!(par_a.luts, par_b.luts);
     assert_eq!(par_a.slices, par_b.slices);
     assert_eq!(par_a.time_ns, par_b.time_ns);

@@ -56,6 +56,14 @@
 //! let again = pipeline.run_report(&net)?; // ~free: memoized
 //! assert_eq!(pipeline.cache_hits(), 1);
 //! assert_eq!(report, again);
+//!
+//! // The fabric is a first-class registry choice too: one knob
+//! // re-derives the device model, the mapper's LUT width and the
+//! // slice capacity together.
+//! assert_eq!(Target::ALL.len(), 4);
+//! let narrow = Pipeline::new().with_target(Target::Spartan3);
+//! assert_eq!(narrow.map_options().k, 4);
+//! assert!(narrow.run_report(&net)?.luts > report.luts);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
@@ -74,14 +82,16 @@
 //!
 //! # Upgrading from `FpgaFlow`
 //!
-//! [`fpga::FpgaFlow`] (panicking, uncached) is soft-deprecated in favour
-//! of [`fpga::Pipeline`]:
+//! The soft-deprecated `FpgaFlow` facade (panicking, uncached) has been
+//! **removed**; [`fpga::Pipeline`] is the only flow entry point:
 //!
 //! * `FpgaFlow::new().run(&net)` → `Pipeline::new().run_report(&net)?`
 //! * `FpgaFlow::new().run_detailed(&net)` → `Pipeline::new().run(&net)?`
 //! * verification failures, capacity overflows and invalid options
 //!   arrive as [`fpga::FlowError`] values instead of panics;
-//! * `FpgaFlow::pipeline()` converts an existing configuration.
+//! * the device model is now derived from a [`fpga::Target`] registry
+//!   preset (`Pipeline::with_target`); options contradicting the target
+//!   fail `Pipeline::validate()` instead of silently disagreeing.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -106,6 +116,7 @@ pub mod prelude {
         MultiplierGenerator, ProductTerm, Rashidi, ReyhaniHasan, SiTi, SplitAtom,
     };
     pub use rgf2m_fpga::{
-        FlowArtifacts, FlowError, FpgaFlow, ImplReport, MapMode, MapOptions, Pipeline, PlaceOptions,
+        Device, FlowArtifacts, FlowError, ImplReport, MapMode, MapOptions, Pipeline, PlaceOptions,
+        Target,
     };
 }

@@ -6,11 +6,11 @@
 
 // Each item imported explicitly — a glob would hide removals.
 use rgf2m::prelude::{
-    generate, is_irreducible, AtomKind, CoefficientTable, Field, FieldError, FlatCoefficientTable,
-    FlowArtifacts, FlowError, Gate, Gf2Poly, ImplReport, MapMode, MapOptions, MastrovitoMatrix,
-    MastrovitoPaar, Method, MultiplierGenerator, Netlist, NodeId, PentanomialError, Pipeline,
-    PlaceOptions, ProductTerm, Rashidi, ReductionMatrix, ReyhaniHasan, School, SiTi, SplitAtom,
-    TypeIiPentanomial,
+    generate, is_irreducible, AtomKind, CoefficientTable, Device, Field, FieldError,
+    FlatCoefficientTable, FlowArtifacts, FlowError, Gate, Gf2Poly, ImplReport, MapMode, MapOptions,
+    MastrovitoMatrix, MastrovitoPaar, Method, MultiplierGenerator, Netlist, NodeId,
+    PentanomialError, Pipeline, PlaceOptions, ProductTerm, Rashidi, ReductionMatrix, ReyhaniHasan,
+    School, SiTi, SplitAtom, Target, TypeIiPentanomial,
 };
 
 /// The facade's module aliases must also stay stable.
@@ -50,7 +50,6 @@ fn every_prelude_type_is_nameable() {
     type_exists::<ProductTerm>();
     type_exists::<SiTi>();
     type_exists::<SplitAtom>();
-    type_exists::<FpgaFlowAlias>();
     type_exists::<ImplReport>();
     type_exists::<MapMode>();
     type_exists::<MapOptions>();
@@ -59,12 +58,10 @@ fn every_prelude_type_is_nameable() {
     type_exists::<FlowError>();
     type_exists::<FlowArtifacts>();
     type_exists::<PlaceOptions>();
+    // The target-registry surface.
+    type_exists::<Target>();
+    type_exists::<Device>();
 }
-
-// `FpgaFlow` doubles as a value below; keep a type-position alias so the
-// list above stays exhaustive.
-use rgf2m::prelude::FpgaFlow as FpgaFlowAlias;
-use rgf2m::prelude::FpgaFlow;
 
 /// The generator trait must be usable as a bound.
 fn assert_generator_bound<G: MultiplierGenerator>() {}
@@ -82,6 +79,29 @@ fn unified_registry_is_reachable_from_the_prelude() {
     assert_eq!(Method::ALL.len(), 6);
     let citations: Vec<&str> = Method::ALL.iter().map(|m| m.citation()).collect();
     assert_eq!(citations, ["[2]", "[8]", "[3]", "[6]", "[7]", "This work"]);
+}
+
+#[test]
+fn target_registry_is_reachable_from_the_prelude() {
+    // The PR-4 acceptance contract: at least four fabric presets with
+    // distinct (k, LUTs/slice) shapes behind one enum, each resolvable
+    // by name, each yielding a device whose shape matches.
+    assert!(Target::ALL.len() >= 4);
+    let mut shapes: Vec<(usize, usize)> = Target::ALL
+        .iter()
+        .map(|t| {
+            assert_eq!(Target::from_name(t.name()), Some(*t));
+            let d: Device = t.device();
+            assert_eq!(
+                (d.lut_inputs, d.luts_per_slice),
+                (t.lut_inputs(), t.luts_per_slice())
+            );
+            (t.lut_inputs(), t.luts_per_slice())
+        })
+        .collect();
+    shapes.sort_unstable();
+    shapes.dedup();
+    assert_eq!(shapes.len(), Target::ALL.len());
 }
 
 #[test]
@@ -104,7 +124,10 @@ fn prelude_functions_run_end_to_end() {
     assert!(report.luts > 0);
     assert!(report.time_ns > 0.0);
 
-    // The legacy shim must agree with its own pipeline.
-    let legacy = FpgaFlow::new().run(&net);
-    assert_eq!(legacy, report);
+    // Retargeting through the prelude: one knob, consistent numbers.
+    let wide = Pipeline::new()
+        .with_target(Target::StratixAlm)
+        .run_report(&net)
+        .expect("wide fabric runs clean");
+    assert!(wide.depth <= report.depth);
 }
