@@ -36,6 +36,62 @@ struct RunResult {
     stats: PlaceStats,
 }
 
+/// Per-proposal cost probe on a deliberately tiny design (GF(2^8) on
+/// artix7, a 4×3 grid), where fixed per-proposal overhead dominates and
+/// any fattening of the annealer inner loop shows up immediately.
+struct SmallGridResult {
+    luts: usize,
+    slices: usize,
+    reps: usize,
+    proposals: usize,
+    best_us: f64,
+    mean_us: f64,
+}
+
+/// Timed repetitions of the small-grid probe (milliseconds each).
+const SMALL_GRID_REPS: usize = 25;
+
+/// Best-of-30 wall time (µs) and proposal count of the pre-PR-2 annealer
+/// (commit 9ebd585) on the same GF(2^8)/artix7 design: the reference the
+/// per-proposal regression is measured against. Same caveat as
+/// `seed_baseline`: only comparable on the machine that produced the
+/// committed artifact.
+const PRE_PR2_SMALL_GRID_US_PROPOSALS: (f64, usize) = (3326.5, 3784);
+
+fn measure_small_grid() -> SmallGridResult {
+    let target = Target::Artix7;
+    let field = field_for(8, 2);
+    let net = generate(&field, Method::ProposedFlat);
+    let resynth = rebalance_xors(&net, target.lut_inputs());
+    let mapped = map_to_luts(&resynth, &target.map_options());
+    let packing = pack_slices(&mapped, target.luts_per_slice());
+    let opts = PlaceOptions {
+        threads: 1,
+        ..PlaceOptions::default()
+    };
+    let mut best_us = f64::INFINITY;
+    let mut sum_us = 0.0;
+    let mut proposals = 0;
+    for _ in 0..SMALL_GRID_REPS {
+        let start = Instant::now();
+        let (_, stats) = place_with_stats(&mapped, &packing, &opts);
+        let us = start.elapsed().as_secs_f64() * 1e6;
+        sum_us += us;
+        if us < best_us {
+            best_us = us;
+        }
+        proposals = stats.proposals;
+    }
+    SmallGridResult {
+        luts: mapped.num_luts(),
+        slices: packing.num_slices(),
+        reps: SMALL_GRID_REPS,
+        proposals,
+        best_us,
+        mean_us: sum_us / SMALL_GRID_REPS as f64,
+    }
+}
+
 struct TargetResult {
     target: Target,
     mapped: LutNetlist,
@@ -142,7 +198,24 @@ fn main() {
         });
     }
 
-    let json = render_json(m, n, &opts_base, &results);
+    eprintln!("probing small-grid per-proposal cost (GF(2^8) on artix7) ...");
+    let small = measure_small_grid();
+    let ns_per_proposal = small.best_us * 1e3 / small.proposals as f64;
+    let (pre_us, pre_proposals) = PRE_PR2_SMALL_GRID_US_PROPOSALS;
+    let pre_ns = pre_us * 1e3 / pre_proposals as f64;
+    eprintln!(
+        "small grid: {} LUTs, {} slices; best-of-{}: {:.1} us / {} proposals = {:.1} ns/proposal ({:+.1}% vs pre-PR-2 {:.1})",
+        small.luts,
+        small.slices,
+        small.reps,
+        small.best_us,
+        small.proposals,
+        ns_per_proposal,
+        (ns_per_proposal / pre_ns - 1.0) * 100.0,
+        pre_ns
+    );
+
+    let json = render_json(m, n, &opts_base, &results, &small);
     std::fs::write(&out_path, json).expect("writing the artifact");
     eprintln!("wrote {out_path}");
     for tr in &results {
@@ -159,10 +232,16 @@ fn main() {
     }
 }
 
-fn render_json(m: usize, n: usize, opts: &PlaceOptions, results: &[TargetResult]) -> String {
+fn render_json(
+    m: usize,
+    n: usize,
+    opts: &PlaceOptions,
+    results: &[TargetResult],
+    small: &SmallGridResult,
+) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "{{");
-    let _ = writeln!(s, "  \"schema\": \"rgf2m-bench-place/2\",");
+    let _ = writeln!(s, "  \"schema\": \"rgf2m-bench-place/3\",");
     let _ = writeln!(
         s,
         "  \"note\": \"wall-clock ms; comparable only within one machine/run\","
@@ -180,6 +259,36 @@ fn render_json(m: usize, n: usize, opts: &PlaceOptions, results: &[TargetResult]
         "  \"place_options\": {{\"seed\": {}, \"moves_factor\": {}, \"max_total_moves\": {}}},",
         opts.seed, opts.moves_factor, opts.max_total_moves
     );
+    let (pre_us, pre_proposals) = PRE_PR2_SMALL_GRID_US_PROPOSALS;
+    let _ = writeln!(s, "  \"small_grid\": {{");
+    let _ = writeln!(
+        s,
+        "    \"description\": \"per-proposal annealer cost on a tiny grid: GF(2^8) ProposedFlat on artix7, threads = 1, default options; fixed per-proposal overhead dominates here\","
+    );
+    let _ = writeln!(s, "    \"field\": {{\"m\": 8, \"n\": 2}},");
+    let _ = writeln!(s, "    \"target\": \"artix7\",");
+    let _ = writeln!(
+        s,
+        "    \"design\": {{\"luts\": {}, \"slices\": {}}},",
+        small.luts, small.slices
+    );
+    let _ = writeln!(s, "    \"reps\": {},", small.reps);
+    let _ = writeln!(s, "    \"proposals\": {},", small.proposals);
+    let _ = writeln!(s, "    \"best_wall_us\": {:.1},", small.best_us);
+    let _ = writeln!(s, "    \"mean_wall_us\": {:.1},", small.mean_us);
+    let _ = writeln!(
+        s,
+        "    \"ns_per_proposal\": {:.1},",
+        small.best_us * 1e3 / small.proposals as f64
+    );
+    let _ = writeln!(
+        s,
+        "    \"pre_pr2_baseline\": {{\"description\": \"pre-PR-2 annealer (commit 9ebd585) on the same design; only comparable on the machine that produced the committed artifact\", \"best_wall_us\": {:.1}, \"proposals\": {}, \"ns_per_proposal\": {:.1}}}",
+        pre_us,
+        pre_proposals,
+        pre_us * 1e3 / pre_proposals as f64
+    );
+    let _ = writeln!(s, "  }},");
     let _ = writeln!(s, "  \"targets\": [");
     for (ti, tr) in results.iter().enumerate() {
         let _ = writeln!(s, "    {{");

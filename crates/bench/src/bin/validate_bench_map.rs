@@ -1,0 +1,38 @@
+//! Schema-validates a `rgf2m-bench-map/1` JSON artifact (as emitted by
+//! `bench_map --out PATH`): schema tag, positive field degree, distinct
+//! registered fabrics with the mapping options actually used (`k` must
+//! match the fabric's LUT width), positive design shapes, and best/mean
+//! wall times consistent with the per-rep list.
+//!
+//! Usage:
+//!   validate_bench_map PATH    # exit 0 and print a summary, or exit 1
+//!
+//! CI runs `bench_map --quick` and then this validator (next to the
+//! table5 one), so the mapper-performance artifact can never silently
+//! rot.
+
+use rgf2m_bench::validate_bench_map_json;
+
+fn main() {
+    let path = match std::env::args().nth(1) {
+        Some(p) => p,
+        None => {
+            eprintln!("usage: validate_bench_map PATH");
+            std::process::exit(2);
+        }
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("validate_bench_map: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match validate_bench_map_json(&text) {
+        Ok(summary) => println!("{path}: OK — {summary}"),
+        Err(e) => {
+            eprintln!("{path}: INVALID — {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -17,6 +17,10 @@ use crate::batch::BatchRow;
 /// `/1` documents, which lacked it, no longer validate.
 pub const TABLE5_SCHEMA: &str = "rgf2m-table5/2";
 
+/// Schema tag stamped into every `bench_map` mapper-performance
+/// artifact and checked by [`validate_bench_map_json`].
+pub const BENCH_MAP_SCHEMA: &str = "rgf2m-bench-map/1";
+
 /// Serializes batch rows as the `rgf2m-table5/2` JSON document.
 ///
 /// Successful rows carry the measured quadruple plus the paper's
@@ -466,6 +470,145 @@ pub fn validate_table5_json(text: &str) -> Result<String, String> {
     ))
 }
 
+/// Validates a `rgf2m-bench-map/1` JSON document (as emitted by
+/// `bench_map --out PATH`): schema tag, positive field degree, and a
+/// non-empty target sweep where every entry names a distinct registered
+/// fabric, records the mapping options actually used (`k` must equal
+/// the fabric's LUT width), a positive design shape, and per-rep wall
+/// times consistent with the recorded best/mean. Returns a short
+/// human-readable summary on success.
+pub fn validate_bench_map_json(text: &str) -> Result<String, String> {
+    let doc = parse_json(text)?;
+    let schema = doc
+        .get("schema")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing \"schema\"")?;
+    if schema != BENCH_MAP_SCHEMA {
+        return Err(format!("schema {schema:?}, expected {BENCH_MAP_SCHEMA:?}"));
+    }
+    let field = doc.get("field").ok_or("missing \"field\"")?;
+    for key in ["m", "n"] {
+        let v = field
+            .get(key)
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("field: missing numeric \"{key}\""))?;
+        if v <= 0.0 {
+            return Err(format!("field: {key} = {v} is not positive"));
+        }
+    }
+    let targets = doc
+        .get("targets")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing \"targets\" array")?;
+    if targets.is_empty() {
+        return Err("empty \"targets\"".into());
+    }
+    let mut seen: Vec<String> = Vec::new();
+    for (i, entry) in targets.iter().enumerate() {
+        let ctx = |what: &str| format!("target {i}: {what}");
+        let name = entry
+            .get("target")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| ctx("missing \"target\""))?;
+        let fabric = Target::from_name(name)
+            .ok_or_else(|| format!("target {i}: unknown target {name:?}"))?;
+        if seen.iter().any(|t| t == name) {
+            return Err(format!("target {i}: duplicate target {name:?}"));
+        }
+        seen.push(name.to_string());
+        let opts = entry
+            .get("map_options")
+            .ok_or_else(|| ctx("missing \"map_options\""))?;
+        let k = opts
+            .get("k")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| ctx("map_options: missing numeric \"k\""))?;
+        if k != fabric.lut_inputs() as f64 {
+            return Err(format!(
+                "target {i}: k = {k} does not match {name}'s LUT width {}",
+                fabric.lut_inputs()
+            ));
+        }
+        let cuts = opts
+            .get("cuts_per_node")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| ctx("map_options: missing numeric \"cuts_per_node\""))?;
+        if cuts < 1.0 {
+            return Err(format!(
+                "target {i}: cuts_per_node = {cuts} is not positive"
+            ));
+        }
+        let design = entry
+            .get("design")
+            .ok_or_else(|| ctx("missing \"design\""))?;
+        for key in ["resynth_gates", "luts", "depth"] {
+            let v = design
+                .get(key)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| ctx(&format!("design: missing numeric \"{key}\"")))?;
+            if v <= 0.0 {
+                return Err(format!("target {i}: design {key} = {v} is not positive"));
+            }
+        }
+        let reps = entry
+            .get("rep_wall_ms")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| ctx("missing \"rep_wall_ms\" array"))?;
+        if reps.is_empty() {
+            return Err(format!("target {i}: empty \"rep_wall_ms\""));
+        }
+        let mut min = f64::INFINITY;
+        for (j, r) in reps.iter().enumerate() {
+            let v = r
+                .as_f64()
+                .ok_or_else(|| ctx(&format!("rep_wall_ms[{j}] is not a number")))?;
+            if v <= 0.0 {
+                return Err(format!(
+                    "target {i}: rep_wall_ms[{j}] = {v} is not positive"
+                ));
+            }
+            min = min.min(v);
+        }
+        let best = entry
+            .get("best_wall_ms")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| ctx("missing numeric \"best_wall_ms\""))?;
+        let mean = entry
+            .get("mean_wall_ms")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| ctx("missing numeric \"mean_wall_ms\""))?;
+        // Reps and best/mean are printed at 0.1 ms precision; allow one
+        // rounding step of slack when cross-checking them.
+        if (best - min).abs() > 0.051 {
+            return Err(format!(
+                "target {i}: best_wall_ms = {best} is not the minimum rep ({min})"
+            ));
+        }
+        if best > mean + 0.051 {
+            return Err(format!(
+                "target {i}: best_wall_ms = {best} exceeds mean_wall_ms = {mean}"
+            ));
+        }
+        if let Some(base) = entry.get("pre_refactor_baseline") {
+            for key in ["best_wall_ms", "mean_wall_ms"] {
+                let v = base.get(key).and_then(JsonValue::as_f64).ok_or_else(|| {
+                    ctx(&format!("pre_refactor_baseline: missing numeric \"{key}\""))
+                })?;
+                if v <= 0.0 {
+                    return Err(format!(
+                        "target {i}: pre_refactor_baseline {key} = {v} is not positive"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(format!(
+        "{} target(s) ({}), best/mean consistent with per-rep wall times",
+        targets.len(),
+        seen.join(", ")
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -577,5 +720,60 @@ mod tests {
         assert!(validate_table5_json(&stripped)
             .unwrap_err()
             .contains("missing \"target\""));
+    }
+
+    /// A minimal valid `bench_map` artifact with one artix7 entry.
+    fn bench_map_doc() -> String {
+        format!(
+            r#"{{
+  "schema": "{BENCH_MAP_SCHEMA}",
+  "field": {{"m": 163, "n": 68}},
+  "targets": [
+    {{
+      "target": "artix7",
+      "map_options": {{"k": 6, "cuts_per_node": 8, "mode": "free"}},
+      "design": {{"method": "ProposedFlat", "resynth_gates": 100, "luts": 10, "depth": 3}},
+      "rep_wall_ms": [2.0, 1.5],
+      "best_wall_ms": 1.5,
+      "mean_wall_ms": 1.8
+    }}
+  ]
+}}"#
+        )
+    }
+
+    #[test]
+    fn bench_map_validator_accepts_a_well_formed_artifact() {
+        let summary = validate_bench_map_json(&bench_map_doc()).unwrap();
+        assert!(summary.contains("1 target(s)"), "{summary}");
+        assert!(summary.contains("artix7"), "{summary}");
+    }
+
+    #[test]
+    fn bench_map_validator_rejects_broken_documents() {
+        let good = bench_map_doc();
+        assert!(validate_bench_map_json("{}").is_err());
+        assert!(
+            validate_bench_map_json(&good.replace("rgf2m-bench-map/1", "rgf2m-bench-map/0"))
+                .is_err()
+        );
+        // Unknown fabric, and a k that contradicts the fabric's LUT width.
+        assert!(validate_bench_map_json(&good.replace("artix7", "ise_14_7"))
+            .unwrap_err()
+            .contains("unknown target"));
+        assert!(
+            validate_bench_map_json(&good.replace("\"k\": 6", "\"k\": 4"))
+                .unwrap_err()
+                .contains("LUT width")
+        );
+        // Best must be the minimum rep, and the rep list must be non-empty.
+        assert!(validate_bench_map_json(
+            &good.replace("\"best_wall_ms\": 1.5", "\"best_wall_ms\": 2.0")
+        )
+        .unwrap_err()
+        .contains("minimum rep"));
+        assert!(validate_bench_map_json(&good.replace("[2.0, 1.5]", "[]"))
+            .unwrap_err()
+            .contains("empty"));
     }
 }

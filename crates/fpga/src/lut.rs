@@ -240,32 +240,50 @@ impl LutNetlist {
     ///
     /// Panics if `inputs.len()` differs from the number of inputs.
     pub fn eval_words(&self, inputs: &[u64]) -> Vec<u64> {
+        let mut values = Vec::new();
+        let mut out = Vec::new();
+        self.eval_words_into(inputs, &mut values, &mut out);
+        out
+    }
+
+    /// Buffer-reusing variant of [`LutNetlist::eval_words`], mirroring
+    /// [`netlist::Netlist::eval_words_into`]: per-LUT words land in
+    /// `values` and output words in `out` (both cleared and refilled),
+    /// so repeated evaluation — the mapping-verification path —
+    /// allocates nothing after the first call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the number of inputs.
+    pub fn eval_words_into(&self, inputs: &[u64], values: &mut Vec<u64>, out: &mut Vec<u64>) {
         assert_eq!(inputs.len(), self.input_names.len());
-        let mut values = vec![0u64; self.luts.len()];
+        values.clear();
+        values.resize(self.luts.len(), 0);
+        let mut in_words = [0u64; MAX_LUT_INPUTS];
         for (i, lut) in self.luts.iter().enumerate() {
-            let in_words: Vec<u64> = lut
-                .inputs
-                .iter()
-                .map(|s| self.signal_word(s, inputs, &values))
-                .collect();
-            let mut out = 0u64;
+            for (w, s) in in_words.iter_mut().zip(&lut.inputs) {
+                *w = self.signal_word(s, inputs, values);
+            }
+            let mut word = 0u64;
             for lane in 0..64 {
                 let mut idx = 0usize;
-                for (bit, w) in in_words.iter().enumerate() {
+                for (bit, w) in in_words[..lut.inputs.len()].iter().enumerate() {
                     if (w >> lane) & 1 == 1 {
                         idx |= 1 << bit;
                     }
                 }
                 if lut.truth.bit(idx) {
-                    out |= 1 << lane;
+                    word |= 1 << lane;
                 }
             }
-            values[i] = out;
+            values[i] = word;
         }
-        self.outputs
-            .iter()
-            .map(|(_, s)| self.signal_word(s, inputs, &values))
-            .collect()
+        out.clear();
+        out.extend(
+            self.outputs
+                .iter()
+                .map(|(_, s)| self.signal_word(s, inputs, values)),
+        );
     }
 
     fn signal_word(&self, s: &Signal, inputs: &[u64], values: &[u64]) -> u64 {
@@ -349,6 +367,17 @@ mod tests {
         assert_eq!(n.depth(), 2);
         // Double negation is identity.
         assert_eq!(n.eval_words(&[0xDEAD])[0], 0xDEAD);
+    }
+
+    #[test]
+    fn eval_words_into_matches_eval_words_across_reuse() {
+        let n = xor2_lut();
+        let mut values = Vec::new();
+        let mut out = Vec::new();
+        for words in [[0b0101u64, 0b0011], [u64::MAX, 0xDEAD]] {
+            n.eval_words_into(&words, &mut values, &mut out);
+            assert_eq!(out, n.eval_words(&words));
+        }
     }
 
     #[test]

@@ -75,11 +75,12 @@ use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
+use netlist::analysis::NetAnalysis;
 use netlist::{Fnv1a, Netlist};
 
 use crate::device::Device;
 use crate::lut::{LutNetlist, MAX_LUT_INPUTS};
-use crate::map::{map_to_luts, verify_mapping, MapMode, MapOptions};
+use crate::map::{map_to_luts_in, verify_mapping, MapMode, MapOptions, MapScratch};
 use crate::pack::{pack_slices, Packing};
 use crate::place::{place, PlaceOptions, Placement};
 use crate::target::Target;
@@ -219,6 +220,13 @@ pub struct Pipeline {
     max_slices: Option<usize>,
     cache: Mutex<HashMap<CacheKey, Arc<FlowArtifacts>>>,
     hits: AtomicUsize,
+    /// Mapper scratch (arena cut store, candidate list, cone memo)
+    /// shared across runs: one pipeline mapping many designs reuses the
+    /// same flat buffers instead of reallocating per design. Guarded so
+    /// concurrent runs stay safe — a contended run falls back to fresh
+    /// scratch rather than serializing on the lock (results are
+    /// bit-identical either way).
+    map_scratch: Mutex<MapScratch>,
 }
 
 /// Memoization key: (netlist content hash, options fingerprint), kept
@@ -245,19 +253,24 @@ impl Pipeline {
             max_slices: None,
             cache: Mutex::new(HashMap::new()),
             hits: AtomicUsize::new(0),
+            map_scratch: Mutex::new(MapScratch::new()),
         }
     }
 
     /// Retargets the pipeline: replaces the device model with the
-    /// target's preset and re-derives the mapper's LUT width from it
-    /// (preserving the non-device mapping options — cut count and
-    /// mapper mode). This is the one knob for everything
-    /// device-dependent; later `with_device`/`with_map_options` calls
-    /// that contradict the target fail [`Pipeline::validate`].
+    /// target's preset and re-derives the device-dependent mapping
+    /// options from it — the mapper's LUT width *and* the
+    /// width-derived priority-cut budget
+    /// ([`MapOptions::default_cuts_for`]); the mapper mode is
+    /// preserved. This is the one knob for everything
+    /// device-dependent; to fine-tune the derived options, call
+    /// [`Pipeline::with_map_options`] *after* retargeting (later
+    /// `with_device`/`with_map_options` calls that contradict the
+    /// target still fail [`Pipeline::validate`]).
     pub fn with_target(mut self, target: Target) -> Self {
         self.target = target;
         self.device = target.device();
-        self.map_options.k = target.lut_inputs();
+        self.map_options = target.map_options().with_mode(self.map_options.mode);
         self
     }
 
@@ -408,7 +421,7 @@ impl Pipeline {
         self.validate()?;
         let clean = net.eliminate_dead_code();
         Ok(if self.resynthesize {
-            crate::resynth::rebalance_xors(&clean, self.map_options.k)
+            crate::resynth::rebalance_xors_in(&clean, self.map_options.k, &NetAnalysis::of(&clean))
         } else {
             clean
         })
@@ -417,7 +430,18 @@ impl Pipeline {
     /// Stage 1: priority-cuts k-LUT technology mapping.
     pub fn map(&self, synth: &Netlist) -> Result<LutNetlist, FlowError> {
         self.validate()?;
-        Ok(map_to_luts(synth, &self.map_options))
+        Ok(self.map_analyzed(synth, &NetAnalysis::of(synth)))
+    }
+
+    /// Maps with a precomputed analysis, on the pipeline's shared
+    /// scratch when it is free. Callers have validated the options.
+    fn map_analyzed(&self, synth: &Netlist, analysis: &NetAnalysis) -> LutNetlist {
+        match self.map_scratch.try_lock() {
+            Ok(mut scratch) => map_to_luts_in(synth, &self.map_options, analysis, &mut scratch),
+            // Another run holds the scratch: fresh buffers beat
+            // serializing concurrent maps (bit-identical output).
+            Err(_) => map_to_luts_in(synth, &self.map_options, analysis, &mut MapScratch::new()),
+        }
     }
 
     /// Stage 2: re-verifies `mapped` against the *source* netlist
@@ -511,7 +535,11 @@ impl Pipeline {
             return Ok(Arc::clone(hit));
         }
         let synth = self.resynth(net)?;
-        let mapped = self.map(&synth)?;
+        // One structural analysis of the synthesized netlist serves the
+        // whole run (mapping consumes fanouts and levels); the mapper
+        // reuses the pipeline's scratch arena across runs.
+        let analysis = NetAnalysis::of(&synth);
+        let mapped = self.map_analyzed(&synth, &analysis);
         self.verify(net, &mapped)?;
         let packing = self.pack(&mapped)?;
         let placement = self.place(&mapped, &packing)?;
@@ -567,6 +595,7 @@ impl Pipeline {
             max_slices: self.max_slices,
             cache: Mutex::new(HashMap::new()),
             hits: AtomicUsize::new(0),
+            map_scratch: Mutex::new(MapScratch::new()),
         }
     }
 
@@ -637,6 +666,7 @@ impl Clone for Pipeline {
             max_slices: self.max_slices,
             cache: Mutex::new(self.cache.lock().expect("pipeline cache poisoned").clone()),
             hits: AtomicUsize::new(0),
+            map_scratch: Mutex::new(MapScratch::new()),
         }
     }
 }
@@ -751,15 +781,28 @@ mod tests {
     fn with_target_rederives_device_and_k() {
         for target in Target::ALL {
             let p = Pipeline::new()
-                .with_map_options(MapOptions::new().with_cuts_per_node(5))
+                .with_map_options(MapOptions::new().with_mode(MapMode::FanoutPreserving))
                 .with_target(target);
             assert_eq!(p.target(), target);
             assert_eq!(p.device(), &target.device());
             assert_eq!(p.map_options().k, target.lut_inputs());
-            // Non-device mapping options survive retargeting.
-            assert_eq!(p.map_options().cuts_per_node, 5);
+            // The cut budget is device-derived (it follows the fabric's
+            // LUT width), while the mapper mode survives retargeting.
+            assert_eq!(
+                p.map_options().cuts_per_node,
+                MapOptions::default_cuts_for(target.lut_inputs()),
+                "{target}"
+            );
+            assert_eq!(p.map_options().mode, MapMode::FanoutPreserving);
             p.validate().unwrap_or_else(|e| panic!("{target}: {e}"));
         }
+        // Explicit mapping options set *after* retargeting are the
+        // escape hatch from the derived cut budget.
+        let p = Pipeline::new()
+            .with_target(Target::StratixAlm)
+            .with_map_options(Target::StratixAlm.map_options().with_cuts_per_node(16));
+        assert_eq!(p.map_options().cuts_per_node, 16);
+        p.validate().unwrap();
     }
 
     #[test]

@@ -378,51 +378,56 @@ pub fn place_with_stats(
     } else {
         // Parallel annealer: shard each step over disjoint row bands
         // whose boundaries rotate (deterministically) per step, so
-        // slices can migrate between bands across steps.
+        // slices can migrate between bands across steps. Each shard's
+        // work area (and its result buffers) is allocated once and
+        // re-synced with the merged master state at every step barrier.
         let bands = band_ranges(h, shards);
+        let mut workers: Vec<Annealer> = (0..shards).map(|_| ann.fork()).collect();
+        let mut shard_out: Vec<ShardResult> = (0..shards).map(|_| ShardResult::default()).collect();
         let mut step: u64 = 0;
         while t > T_MIN && spent < budget {
             let alloc = moves_per_temp.min(budget - spent);
             let offset = band_offset(opts.seed, step, h);
-            let results: Vec<ShardResult> = std::thread::scope(|scope| {
-                let handles: Vec<_> = bands
+            for worker in workers.iter_mut() {
+                worker.sync_from(&ann);
+            }
+            std::thread::scope(|scope| {
+                for (k, ((&(r0, r1), worker), out)) in bands
                     .iter()
+                    .zip(workers.iter_mut())
+                    .zip(shard_out.iter_mut())
                     .enumerate()
-                    .map(|(k, &(r0, r1))| {
-                        let n_moves = alloc / shards + usize::from(k < alloc % shards);
-                        let worker = ann.fork();
-                        let rng = StdRng::seed_from_u64(shard_seed(opts.seed, step, k as u64));
-                        let start_row = (r0 + offset) % h;
-                        scope.spawn(move || {
-                            anneal_shard(worker, start_row, r1 - r0, h, t, rng, n_moves)
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|hd| hd.join().expect("annealing worker panicked"))
-                    .collect()
+                {
+                    let n_moves = alloc / shards + usize::from(k < alloc % shards);
+                    let rng = StdRng::seed_from_u64(shard_seed(opts.seed, step, k as u64));
+                    let band = Band {
+                        start_row: (r0 + offset) % h,
+                        rows: r1 - r0,
+                        h,
+                    };
+                    scope.spawn(move || anneal_shard(worker, out, band, t, rng, n_moves));
+                }
             });
             // Merge: band cells and positions first (boxes span bands,
             // so they can only be recomputed once every pin has landed),
             // then refresh exactly the nets some shard's accepted moves
             // dirtied — every other cached box is still exact.
             let mut accepted = 0usize;
-            let mut dirty_all: Vec<u32> = Vec::new();
-            for (&(r0, _), res) in bands.iter().zip(results) {
+            for (&(r0, _), res) in bands.iter().zip(shard_out.iter()) {
                 let start_row = (r0 + offset) % h;
                 for (local_row, chunk) in res.cells.chunks_exact(w).enumerate() {
                     let row = (start_row + local_row) % h;
                     ann.cells[row * w..row * w + w].copy_from_slice(chunk);
                 }
-                for (s, p) in res.moved {
+                for &(s, p) in &res.moved {
                     ann.pos[s as usize] = p;
                 }
-                dirty_all.extend(res.dirty);
                 accepted += res.accepted;
             }
-            for &ni in &dirty_all {
-                ann.boxes[ni as usize] = NetBox::compute(&ann.nets[ni as usize], &ann.pos);
+            for worker in &workers {
+                for &ni in &worker.dirty {
+                    ann.boxes[ni as usize] = NetBox::compute(&ann.nets[ni as usize], &ann.pos);
+                }
             }
             spent += alloc;
             stats.accepted += accepted;
@@ -578,9 +583,27 @@ impl NetBox {
     }
 }
 
+/// One net touched by the current proposal.
+#[derive(Debug, Clone, Copy)]
+struct Touched {
+    /// Net index.
+    ni: u32,
+    /// Which of the two tentatively-moved slices are pins of this net:
+    /// bit 0 = the slice leaving cell `ca`, bit 1 = the one leaving
+    /// `cb`. Collected from the incidence lists, so no per-net
+    /// membership search is needed on the hot path.
+    movers: u8,
+    /// The recomputed box when the proposal changes it (`None` = box
+    /// provably unchanged).
+    nb: Option<NetBox>,
+}
+
 /// The annealing work area one worker owns while proposing swaps: the
 /// shared netlist structure plus mutable positions, cell contents and
-/// cached per-net bounding boxes.
+/// cached per-net bounding boxes. All per-proposal scratch
+/// (`touched`, the `stamp`/`slot` epoch maps) lives here, allocated
+/// once per work area and reused for every proposal — the inner
+/// annealing loop never allocates.
 struct Annealer<'a> {
     nets: &'a [Net],
     incident: &'a [Vec<u32>],
@@ -590,13 +613,16 @@ struct Annealer<'a> {
     boxes: Vec<NetBox>,
     /// Scratch: net → epoch of the proposal that last touched it.
     stamp: Vec<u64>,
+    /// Scratch: net → its index in `touched` (valid only while
+    /// `stamp[net] == epoch`).
+    slot: Vec<u32>,
     epoch: u64,
-    /// Nets touched by the current proposal, with their recomputed box
-    /// when the proposal changes it (`None` = box provably unchanged).
-    touched: Vec<(u32, Option<NetBox>)>,
+    /// Nets touched by the current proposal.
+    touched: Vec<Touched>,
     /// Nets whose cached box an accepted move has rewritten since this
-    /// work area was created (deduplicated via `dirty_flag`); parallel
-    /// shards hand this back so the merge only refreshes those boxes.
+    /// work area was created or last re-synced (deduplicated via
+    /// `dirty_flag`); the parallel merge reads this so it only
+    /// refreshes those boxes.
     dirty: Vec<u32>,
     dirty_flag: Vec<bool>,
 }
@@ -618,6 +644,7 @@ impl<'a> Annealer<'a> {
             cells,
             boxes,
             stamp: vec![0; nets.len()],
+            slot: vec![0; nets.len()],
             epoch: 0,
             touched: Vec::new(),
             dirty: Vec::new(),
@@ -626,7 +653,10 @@ impl<'a> Annealer<'a> {
     }
 
     /// A clone of this work area for a parallel shard (shares the
-    /// netlist structure, copies the mutable state).
+    /// netlist structure, copies the mutable state). Created once per
+    /// shard and re-synced with [`Annealer::sync_from`] between
+    /// temperature steps, so the per-step cost is a buffer copy, not an
+    /// allocation.
     fn fork(&self) -> Annealer<'a> {
         Annealer {
             nets: self.nets,
@@ -636,10 +666,25 @@ impl<'a> Annealer<'a> {
             cells: self.cells.clone(),
             boxes: self.boxes.clone(),
             stamp: vec![0; self.nets.len()],
+            slot: vec![0; self.nets.len()],
             epoch: 0,
             touched: Vec::new(),
             dirty: Vec::new(),
             dirty_flag: vec![false; self.nets.len()],
+        }
+    }
+
+    /// Re-syncs this shard work area with the merged master state at a
+    /// temperature-step barrier, reusing every buffer: positions, cell
+    /// contents and boxes are copied in place, the dirty set is
+    /// drained. The epoch scratch carries over (stamps from earlier
+    /// steps are simply stale).
+    fn sync_from(&mut self, master: &Annealer<'a>) {
+        self.pos.copy_from_slice(&master.pos);
+        self.cells.copy_from_slice(&master.cells);
+        self.boxes.copy_from_slice(&master.boxes);
+        for ni in self.dirty.drain(..) {
+            self.dirty_flag[ni as usize] = false;
         }
     }
 
@@ -658,13 +703,24 @@ impl<'a> Annealer<'a> {
         let sb = self.cells[cb];
         let pa = cell_pos(ca, self.w);
         let pb = cell_pos(cb, self.w);
-        // Collect the distinct nets incident to either moving slice.
-        for s in [sa, sb] {
+        // Collect the distinct nets incident to either moving slice,
+        // remembering *which* mover each net is incident to — the
+        // incidence lists are built from `net.slices`, so this replaces
+        // a per-net membership search on the hot path.
+        for (mi, s) in [sa, sb].into_iter().enumerate() {
             let Some(s) = s else { continue };
             for &ni in &self.incident[s as usize] {
-                if self.stamp[ni as usize] != self.epoch {
-                    self.stamp[ni as usize] = self.epoch;
-                    self.touched.push((ni, None));
+                let nu = ni as usize;
+                if self.stamp[nu] != self.epoch {
+                    self.stamp[nu] = self.epoch;
+                    self.slot[nu] = self.touched.len() as u32;
+                    self.touched.push(Touched {
+                        ni,
+                        movers: 1 << mi,
+                        nb: None,
+                    });
+                } else {
+                    self.touched[self.slot[nu] as usize].movers |= 1 << mi;
                 }
             }
         }
@@ -674,22 +730,23 @@ impl<'a> Annealer<'a> {
         // the box, so those nets are skipped entirely.
         let mut delta = 0.0;
         for i in 0..self.touched.len() {
-            let ni = self.touched[i].0 as usize;
+            let Touched { ni, movers, .. } = self.touched[i];
+            let ni = ni as usize;
             let net = &self.nets[ni];
             let cached = self.boxes[ni];
             let mut needs = false;
-            for (s, to) in [(sa, pb), (sb, pa)] {
-                let Some(s) = s else { continue };
-                // `net.slices` is sorted and deduplicated (build_nets).
-                if net.slices.binary_search(&s).is_ok() {
-                    let from = self.pos[s as usize];
-                    needs |= cached.on_boundary(from) || cached.outside(to);
+            for (mi, (s, to)) in [(sa, pb), (sb, pa)].into_iter().enumerate() {
+                if movers & (1 << mi) == 0 {
+                    continue;
                 }
+                let s = s.expect("mover bit set for an empty cell");
+                let from = self.pos[s as usize];
+                needs |= cached.on_boundary(from) || cached.outside(to);
             }
             if needs {
                 let nb = NetBox::compute_moved(net, &self.pos, (sa, pb), (sb, pa));
                 delta += nb.hpwl() - cached.hpwl();
-                self.touched[i].1 = Some(nb);
+                self.touched[i].nb = Some(nb);
             }
         }
         delta
@@ -709,7 +766,7 @@ impl<'a> Annealer<'a> {
         }
         self.cells.swap(ca, cb);
         for i in 0..self.touched.len() {
-            let (ni, nb) = self.touched[i];
+            let Touched { ni, nb, .. } = self.touched[i];
             if let Some(nb) = nb {
                 self.boxes[ni as usize] = nb;
                 if !self.dirty_flag[ni as usize] {
@@ -722,30 +779,42 @@ impl<'a> Annealer<'a> {
 }
 
 /// What one parallel shard hands back at the temperature-step barrier.
+/// Owned by the caller and reused across steps (the buffers are cleared
+/// and refilled, never reallocated in steady state). The shard's dirty
+/// net set stays on its [`Annealer`], where the next
+/// [`Annealer::sync_from`] drains it.
+#[derive(Default)]
 struct ShardResult {
     /// The shard's band of the cell grid after its moves.
     cells: Vec<Option<u32>>,
     /// Final positions of the slices living in this band.
     moved: Vec<(u32, (f32, f32))>,
-    /// Nets whose cached box the shard's accepted moves changed.
-    dirty: Vec<u32>,
     /// Accepted proposals.
     accepted: usize,
 }
 
-/// Runs one shard's slice of a temperature step: `n_moves` proposals
-/// confined to the band of `rows` full grid rows starting at
-/// `start_row`, wrapping modulo `h` (bands rotate across steps, so a
-/// band may span the bottom and top of the grid).
-fn anneal_shard(
-    mut ann: Annealer<'_>,
+/// One shard's band of full grid rows for a single temperature step:
+/// `rows` rows starting at `start_row`, wrapping modulo `h` (bands
+/// rotate across steps, so a band may span the bottom and top of the
+/// grid).
+#[derive(Clone, Copy)]
+struct Band {
     start_row: usize,
     rows: usize,
     h: usize,
+}
+
+/// Runs one shard's slice of a temperature step: `n_moves` proposals
+/// confined to `band`.
+fn anneal_shard(
+    ann: &mut Annealer<'_>,
+    out: &mut ShardResult,
+    band: Band,
     t: f64,
     mut rng: StdRng,
     n_moves: usize,
-) -> ShardResult {
+) {
+    let Band { start_row, rows, h } = band;
     let w = ann.w;
     let len = rows * w;
     let cell_at = |local: usize| ((start_row + local / w) % h) * w + local % w;
@@ -761,17 +830,16 @@ fn anneal_shard(
     }
     // Cells handed back in band-local row order; the merge rotates them
     // back into grid position.
-    let cells: Vec<Option<u32>> = (0..len).map(|local| ann.cells[cell_at(local)]).collect();
-    let moved = cells
-        .iter()
-        .filter_map(|c| c.map(|s| (s, ann.pos[s as usize])))
-        .collect();
-    ShardResult {
-        cells,
-        moved,
-        dirty: ann.dirty,
-        accepted,
-    }
+    out.cells.clear();
+    out.cells
+        .extend((0..len).map(|local| ann.cells[cell_at(local)]));
+    out.moved.clear();
+    out.moved.extend(
+        out.cells
+            .iter()
+            .filter_map(|c| c.map(|s| (s, ann.pos[s as usize]))),
+    );
+    out.accepted = accepted;
 }
 
 #[cfg(test)]

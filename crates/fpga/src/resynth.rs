@@ -58,8 +58,24 @@ use netlist::{analysis, Gate, Netlist, NodeId};
 /// assert!(balanced.depth().xors <= 6);
 /// ```
 pub fn rebalance_xors(net: &Netlist, k: usize) -> Netlist {
+    rebalance_xors_in(net, k, &analysis::NetAnalysis::of(net))
+}
+
+/// Like [`rebalance_xors`], using a precomputed [`analysis::NetAnalysis`]
+/// of `net` — so a pipeline that already analyzed the netlist (fanouts
+/// feed mapping too) does not walk the node array again here.
+///
+/// # Panics
+///
+/// Panics if `k < 2` or if `hints` was not computed for `net`.
+pub fn rebalance_xors_in(net: &Netlist, k: usize, hints: &analysis::NetAnalysis) -> Netlist {
     assert!(k >= 2, "chunk width must be at least 2");
-    let fanouts = analysis::fanouts(net);
+    assert_eq!(
+        hints.fanouts.len(),
+        net.len(),
+        "analysis does not match the netlist"
+    );
+    let fanouts = &hints.fanouts;
     let mut out = Netlist::new(net.name().to_string());
     let mut remap: Vec<Option<NodeId>> = vec![None; net.len()];
     // Estimated LUT depth of every *new* XOR cluster root we create.

@@ -123,9 +123,16 @@ impl Target {
     }
 
     /// Default mapping options for this fabric: `k` derived from the
-    /// device, everything else as [`MapOptions::new`].
+    /// device and the priority-cut budget derived from `k` via
+    /// [`MapOptions::default_cuts_for`] (wide-LUT fabrics such as
+    /// `stratix_alm` get a tighter budget so k ≥ 8 enumeration stays
+    /// bounded). Chain [`MapOptions::with_cuts_per_node`] to override
+    /// the budget explicitly.
     pub fn map_options(self) -> MapOptions {
-        MapOptions::new().with_k(self.lut_inputs())
+        let k = self.lut_inputs();
+        MapOptions::new()
+            .with_k(k)
+            .with_cuts_per_node(MapOptions::default_cuts_for(k))
     }
 }
 
@@ -179,11 +186,29 @@ mod tests {
     }
 
     #[test]
-    fn map_options_derive_k_from_the_device() {
+    fn map_options_derive_k_and_cut_budget_from_the_device() {
         for target in Target::ALL {
             let opts = target.map_options();
             assert_eq!(opts.k, target.device().lut_inputs, "{target}");
-            assert_eq!(opts.cuts_per_node, MapOptions::new().cuts_per_node);
+            assert_eq!(
+                opts.cuts_per_node,
+                MapOptions::default_cuts_for(opts.k),
+                "{target}"
+            );
         }
+        // Pin the concrete budgets: narrow fabrics keep the classic 8,
+        // the k = 8 ALM fabric gets the tightened budget.
+        assert_eq!(Target::Artix7.map_options().cuts_per_node, 8);
+        assert_eq!(Target::Spartan3.map_options().cuts_per_node, 8);
+        assert_eq!(Target::Virtex5.map_options().cuts_per_node, 8);
+        assert_eq!(Target::StratixAlm.map_options().cuts_per_node, 4);
+        // The escape hatch overrides the derived default.
+        assert_eq!(
+            Target::StratixAlm
+                .map_options()
+                .with_cuts_per_node(16)
+                .cuts_per_node,
+            16
+        );
     }
 }

@@ -6,6 +6,7 @@ use gf2m::Field;
 use gf2poly::TypeIiPentanomial;
 use proptest::prelude::*;
 use rgf2m_core::{generate, Method};
+use rgf2m_fpga::map::map_to_luts;
 use rgf2m_fpga::{Pipeline, Target};
 
 fn gf256() -> Field {
@@ -71,5 +72,42 @@ proptest! {
         prop_assert_eq!(artifacts.report.luts, artifacts.mapped.num_luts());
         prop_assert_eq!(artifacts.report.slices, artifacts.packing.num_slices());
         prop_assert!(artifacts.report.time_ns > 0.0);
+    }
+}
+
+proptest! {
+    // Each case walks the whole Target × Method grid (24 mappings), so a
+    // few stimulus rounds already exercise every combination — keep the
+    // case count small to stay debug-build friendly.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The arena/priority-cut mapper is functionally equivalent to raw
+    /// netlist simulation on *every* registered fabric × *every* Table V
+    /// method (the grid is walked exhaustively; proptest supplies the
+    /// stimulus): the same random 64-bit words pushed through the gate
+    /// netlist and through the mapped LUT netlist must agree on every
+    /// output bit.
+    #[test]
+    fn mapper_matches_netlist_simulation_for_every_target_and_method(
+        seed in any::<u64>(),
+    ) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let field = gf256();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for target in Target::ALL {
+            for method in Method::ALL {
+                let net = generate(&field, method);
+                let mapped = map_to_luts(&net, &target.map_options());
+                let words: Vec<u64> =
+                    (0..net.num_inputs()).map(|_| rng.gen()).collect();
+                let net_out = net.eval_words(&words);
+                let lut_out = mapped.eval_words(&words);
+                prop_assert!(
+                    net_out == lut_out,
+                    "{target}/{method:?} diverges from netlist simulation"
+                );
+            }
+        }
     }
 }

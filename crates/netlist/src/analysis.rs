@@ -107,6 +107,40 @@ pub fn fanouts(net: &Netlist) -> Vec<usize> {
     fanout
 }
 
+/// Fanout and levelization of one netlist, computed together in a
+/// single pass over the nodes.
+///
+/// Several flow stages (resynthesis, technology mapping) consume the
+/// same structural facts about the netlist they share; computing them
+/// once per pipeline run and threading a `NetAnalysis` through beats
+/// every stage re-walking the node array for itself.
+#[derive(Debug, Clone, Default)]
+pub struct NetAnalysis {
+    /// Per-node fanout, exactly as [`fanouts`] computes it.
+    pub fanouts: Vec<usize>,
+    /// Per-node topological level, exactly as [`levels`] computes it.
+    pub levels: Vec<u32>,
+}
+
+impl NetAnalysis {
+    /// Analyzes `net` in one pass.
+    pub fn of(net: &Netlist) -> Self {
+        let mut fanouts = vec![0usize; net.len()];
+        let mut levels = vec![0u32; net.len()];
+        for id in net.node_ids() {
+            if let Gate::And(a, b) | Gate::Xor(a, b) = net.gate(id) {
+                fanouts[a.index()] += 1;
+                fanouts[b.index()] += 1;
+                levels[id.index()] = levels[a.index()].max(levels[b.index()]) + 1;
+            }
+        }
+        for (_, n) in net.outputs() {
+            fanouts[n.index()] += 1;
+        }
+        NetAnalysis { fanouts, levels }
+    }
+}
+
 /// Assigns each node a topological level: inputs/constants at level 0,
 /// every gate one above its deepest operand (AND and XOR both count 1).
 pub fn levels(net: &Netlist) -> Vec<u32> {
@@ -247,6 +281,14 @@ mod tests {
             .find(|&id| matches!(net.gate(id), Gate::And(_, _)))
             .unwrap();
         assert_eq!(cone_inputs(&net, and_id), vec![0, 1]);
+    }
+
+    #[test]
+    fn net_analysis_agrees_with_standalone_passes() {
+        let net = sample();
+        let a = NetAnalysis::of(&net);
+        assert_eq!(a.fanouts, fanouts(&net));
+        assert_eq!(a.levels, levels(&net));
     }
 
     #[test]
