@@ -1,0 +1,85 @@
+//! Reverse-engineers the field parameters from anonymized multiplier
+//! netlists: strips every name from the generated design, recovers
+//! `m` and the reduction polynomial `f(y)` purely from the gate
+//! structure, and checks the recovery against the field the netlist
+//! was actually generated for.
+//!
+//! Usage:
+//!   reveng                 # all nine Table V fields, proposed method
+//!   reveng --only M,N      # a single field, e.g. --only 8,2
+//!   reveng --all-methods   # all six methods per field (slower)
+//!
+//! Exits nonzero if any recovery fails or disagrees with the source
+//! field. Because the recovered modulus is cross-checked against a
+//! full `ReductionMatrix` rebuild, a passing run is a certificate
+//! that the netlist implements *some* GF(2^m) multiplier — and names
+//! which one.
+
+use gf2poly::catalogue::TABLE_V_FIELDS;
+use rgf2m_bench::{arg_value, field_for};
+use rgf2m_core::{anonymize, gen::generate, reverse_engineer, Method};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let only: Option<(usize, usize)> = arg_value(&args, "--only").map(|v| {
+        let parts: Vec<usize> = v
+            .split(',')
+            .map(|t| t.trim().parse().expect("--only wants M,N"))
+            .collect();
+        assert_eq!(parts.len(), 2, "--only wants M,N");
+        (parts[0], parts[1])
+    });
+    let methods: Vec<Method> = if args.iter().any(|a| a == "--all-methods") {
+        Method::ALL.to_vec()
+    } else {
+        vec![Method::ProposedFlat]
+    };
+
+    let fields: Vec<(usize, usize)> = TABLE_V_FIELDS
+        .iter()
+        .copied()
+        .filter(|&pair| only.is_none_or(|o| o == pair))
+        .collect();
+    assert!(!fields.is_empty(), "no Table V field matches --only");
+
+    let mut failures = 0usize;
+    for &(m, n) in &fields {
+        let field = field_for(m, n);
+        for method in &methods {
+            let net = generate(&field, *method);
+            let anon = anonymize(&net);
+            match reverse_engineer(&anon) {
+                Ok(rec) => {
+                    let modulus_ok = rec.m == m && rec.modulus == *field.modulus();
+                    let verdict = if modulus_ok { "ok" } else { "WRONG FIELD" };
+                    println!(
+                        "  ({m:>3},{n:>2}) {:<14} -> {rec}  [{verdict}]",
+                        method.name()
+                    );
+                    if !modulus_ok {
+                        failures += 1;
+                        eprintln!(
+                            "    expected f = {}, recovered f = {}",
+                            field.modulus(),
+                            rec.modulus
+                        );
+                    }
+                }
+                Err(e) => {
+                    failures += 1;
+                    println!("  ({m:>3},{n:>2}) {:<14} -> FAILED: {e}", method.name());
+                }
+            }
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("{failures} recovery failure(s)");
+        std::process::exit(1);
+    }
+    println!(
+        "recovered every modulus from structure alone ({} field(s) x {} method(s))",
+        fields.len(),
+        methods.len()
+    );
+}

@@ -1,4 +1,4 @@
-//! Schema-validates a `rgf2m-table5/2` JSON artifact (as emitted by
+//! Schema-validates a `rgf2m-table5/3` JSON artifact (as emitted by
 //! `table5 --json PATH` or `crosstarget --json PATH`): schema tag,
 //! non-empty whole six-method blocks in the paper's row order, a
 //! registered target fabric uniform within each block, positive LUTs /

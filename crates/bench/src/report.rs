@@ -12,21 +12,22 @@ use rgf2m_fpga::Target;
 
 use crate::batch::BatchRow;
 
-/// Schema tag stamped into every Table V JSON export. `/2` added the
-/// per-row `target` field (the fabric the row was implemented on);
-/// `/1` documents, which lacked it, no longer validate.
-pub const TABLE5_SCHEMA: &str = "rgf2m-table5/2";
+/// Schema tag stamped into every Table V JSON export. `/3` added the
+/// per-row `dup_gates` / `dead_nodes` hygiene counters (from the
+/// post-mapping lint pass); `/2` added the per-row `target` field.
+/// Older documents, which lack those fields, no longer validate.
+pub const TABLE5_SCHEMA: &str = "rgf2m-table5/3";
 
 /// Schema tag stamped into every `bench_map` mapper-performance
 /// artifact and checked by [`validate_bench_map_json`].
 pub const BENCH_MAP_SCHEMA: &str = "rgf2m-bench-map/1";
 
-/// Serializes batch rows as the `rgf2m-table5/2` JSON document.
+/// Serializes batch rows as the `rgf2m-table5/3` JSON document.
 ///
 /// Successful rows carry the measured quadruple plus the paper's
-/// `area_time` metric; failed rows carry `"ok": false` and the error
-/// message. Every row names its target fabric. Byte-identical for
-/// identical inputs.
+/// `area_time` metric and the lint pass's hygiene counters; failed
+/// rows carry `"ok": false` and the error message. Every row names
+/// its target fabric. Byte-identical for identical inputs.
 pub fn rows_to_json(rows: &[BatchRow], base_seed: u64) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -47,12 +48,15 @@ pub fn rows_to_json(rows: &[BatchRow], base_seed: u64) -> String {
         match &row.result {
             Ok(r) => s.push_str(&format!(
                 ", \"ok\": true, \"luts\": {}, \"slices\": {}, \"depth\": {}, \
-                 \"time_ns\": {:.4}, \"area_time\": {:.4}",
+                 \"time_ns\": {:.4}, \"area_time\": {:.4}, \
+                 \"dup_gates\": {}, \"dead_nodes\": {}",
                 r.luts,
                 r.slices,
                 r.depth,
                 r.time_ns,
-                r.area_time()
+                r.area_time(),
+                r.dup_gates,
+                r.dead_nodes
             )),
             Err(e) => s.push_str(&format!(
                 ", \"ok\": false, \"error\": {}",
@@ -73,12 +77,12 @@ pub fn rows_to_json(rows: &[BatchRow], base_seed: u64) -> String {
 /// the trailing column). Byte-identical for identical inputs.
 pub fn rows_to_csv(rows: &[BatchRow]) -> String {
     let mut s = String::from(
-        "m,n,method,citation,target,seed,ok,luts,slices,depth,time_ns,area_time,error\n",
+        "m,n,method,citation,target,seed,ok,luts,slices,depth,time_ns,area_time,dup_gates,dead_nodes,error\n",
     );
     for row in rows {
         match &row.result {
             Ok(r) => s.push_str(&format!(
-                "{},{},{},{},{},{},true,{},{},{},{:.4},{:.4},\n",
+                "{},{},{},{},{},{},true,{},{},{},{:.4},{:.4},{},{},\n",
                 row.job.m,
                 row.job.n,
                 row.job.method.name(),
@@ -89,10 +93,12 @@ pub fn rows_to_csv(rows: &[BatchRow]) -> String {
                 r.slices,
                 r.depth,
                 r.time_ns,
-                r.area_time()
+                r.area_time(),
+                r.dup_gates,
+                r.dead_nodes
             )),
             Err(e) => s.push_str(&format!(
-                "{},{},{},{},{},{},false,,,,,,{}\n",
+                "{},{},{},{},{},{},false,,,,,,,,{}\n",
                 row.job.m,
                 row.job.n,
                 row.job.method.name(),
@@ -373,11 +379,12 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
 // Schema validation for the table5 artifact.
 // ---------------------------------------------------------------------
 
-/// Validates a `rgf2m-table5/2` JSON document: schema tag, non-empty
+/// Validates a `rgf2m-table5/3` JSON document: schema tag, non-empty
 /// row set, whole six-method blocks in the paper's row order, every
 /// row naming a registered target fabric and `ok` with positive LUTs /
-/// slices / depth / time. Within each six-method block the target must
-/// be uniform (one block = one field on one fabric). Returns a short
+/// slices / depth / time plus non-negative `dup_gates` / `dead_nodes`
+/// hygiene counters. Within each six-method block the target must be
+/// uniform (one block = one field on one fabric). Returns a short
 /// human-readable summary on success.
 pub fn validate_table5_json(text: &str) -> Result<String, String> {
     let doc = parse_json(text)?;
@@ -459,6 +466,17 @@ pub fn validate_table5_json(text: &str) -> Result<String, String> {
                 .ok_or_else(|| ctx(&format!("missing numeric \"{field}\"")))?;
             if v <= 0.0 {
                 return Err(format!("row {i}: {field} = {v} is not positive"));
+            }
+        }
+        // Hygiene counters may legitimately be zero (and usually are),
+        // but must be present and non-negative.
+        for field in ["dup_gates", "dead_nodes"] {
+            let v = row
+                .get(field)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| ctx(&format!("missing numeric \"{field}\"")))?;
+            if v < 0.0 {
+                return Err(format!("row {i}: {field} = {v} is negative"));
             }
         }
     }
@@ -672,10 +690,17 @@ mod tests {
     fn validator_rejects_broken_documents() {
         assert!(validate_table5_json("{}").is_err());
         assert!(validate_table5_json(r#"{"schema": "other", "rows": []}"#).is_err());
-        // The previous schema revision is rejected by tag.
+        // Previous schema revisions are rejected by tag.
         assert!(validate_table5_json(r#"{"schema": "rgf2m-table5/1", "rows": []}"#).is_err());
+        assert!(validate_table5_json(r#"{"schema": "rgf2m-table5/2", "rows": []}"#).is_err());
         let empty = format!(r#"{{"schema": "{TABLE5_SCHEMA}", "rows": []}}"#);
         assert!(validate_table5_json(&empty).is_err());
+        // `/3` requires the hygiene counters on every ok row.
+        let no_hygiene =
+            block_doc(|_| "artix7").replace(", \"dup_gates\": 0, \"dead_nodes\": 0", "");
+        assert!(validate_table5_json(&no_hygiene)
+            .unwrap_err()
+            .contains("dup_gates"));
     }
 
     /// A minimal valid six-row block with a per-row target override.
@@ -687,7 +712,8 @@ mod tests {
                 format!(
                     "    {{\"m\": 8, \"n\": 2, \"method\": {}, \"citation\": {}, \
                      \"target\": {}, \"seed\": 1, \"ok\": true, \"luts\": 33, \
-                     \"slices\": 11, \"depth\": 3, \"time_ns\": 9.7, \"area_time\": 320.1}}",
+                     \"slices\": 11, \"depth\": 3, \"time_ns\": 9.7, \"area_time\": 320.1, \
+                     \"dup_gates\": 0, \"dead_nodes\": 0}}",
                     json_string(m.name()),
                     json_string(m.citation()),
                     json_string(target_of(i)),

@@ -47,7 +47,9 @@
 pub mod coeffs;
 pub mod gen;
 pub mod linear;
+pub mod reveng;
 pub mod sit;
+pub mod spec;
 pub mod split;
 pub mod terms;
 
@@ -56,6 +58,8 @@ pub use gen::{
     coefficient_support, generate, Imana2012, Imana2016, MastrovitoPaar, Method,
     MultiplierGenerator, ProposedFlat, Rashidi, ReyhaniHasan,
 };
+pub use reveng::{anonymize, reverse_engineer, ModulusClass, RecoveredField, RevengError};
 pub use sit::SiTi;
+pub use spec::multiplier_spec;
 pub use split::{AtomKind, SplitAtom};
 pub use terms::ProductTerm;

@@ -1,0 +1,135 @@
+//! The algebraic specification of a GF(2^m) bit-parallel multiplier:
+//! one GF(2) polynomial per product coordinate, derived from the
+//! field's reduction matrix — the reference object complete (formal)
+//! verification compares netlists against.
+//!
+//! For `A, B ∈ GF(2^m)` in polynomial basis, the unreduced product has
+//! coefficients `d_t = Σ_{i+j=t} a_i·b_j`, and reduction by the modulus
+//! gives `c_k = d_k + Σ_i R[k][i]·d_{m+i}` with `R` the field's
+//! [`ReductionMatrix`](gf2m::ReductionMatrix). Expanding every `d_t`
+//! yields an explicit multilinear polynomial over the 2m input bits;
+//! no two expanded products coincide (the `(i, j)` pairs of distinct
+//! `t` groups are disjoint), so the expansion is already in algebraic
+//! normal form and can be compared syntactically.
+
+use gf2m::Field;
+use netlist::algebra::{Monomial, MulSpec, Poly};
+
+/// Derives the complete per-output-bit specification of a multiplier
+/// over `field`.
+///
+/// Variable numbering matches the `a0..a{m-1}, b0..b{m-1}` interface
+/// every generator in [`crate::gen`] emits: `a_i` is variable `i`,
+/// `b_j` is variable `m + j`.
+///
+/// # Examples
+///
+/// ```
+/// use gf2m::Field;
+/// use gf2poly::TypeIiPentanomial;
+/// use rgf2m_core::{generate, multiplier_spec, Method};
+///
+/// let field = Field::from_pentanomial(&TypeIiPentanomial::new(8, 2)?);
+/// let spec = multiplier_spec(&field);
+/// let polys = netlist::algebra::output_polys(&generate(&field, Method::ProposedFlat));
+/// assert_eq!(polys, spec.outputs());
+/// # Ok::<(), gf2poly::PentanomialError>(())
+/// ```
+pub fn multiplier_spec(field: &Field) -> MulSpec {
+    let m = field.m();
+    let red = field.reduction_matrix();
+    let mut outputs = Vec::with_capacity(m);
+    for k in 0..m {
+        // c_k = d_k + Σ_{i ∈ I_k} d_{m+i}, with I_k from the reduction
+        // matrix row; expand each d_t into its a_i·b_{t−i} products.
+        let mut ts = vec![k];
+        ts.extend(red.t_terms_for_coefficient(k).into_iter().map(|i| m + i));
+        let mut monomials = Vec::new();
+        for t in ts {
+            let lo = t.saturating_sub(m - 1);
+            let hi = t.min(m - 1);
+            for i in lo..=hi {
+                monomials.push(Monomial::product(&[i as u32, (m + t - i) as u32]));
+            }
+        }
+        outputs.push(Poly::from_monomials(monomials));
+    }
+    MulSpec::new(m, outputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, Method};
+    use gf2poly::Gf2Poly;
+
+    fn gf256() -> Field {
+        Field::new(Gf2Poly::from_exponents(&[8, 4, 3, 2, 0])).unwrap()
+    }
+
+    fn poly_from_bits(v: u64) -> Gf2Poly {
+        let exps: Vec<usize> = (0..64).filter(|&i| v >> i & 1 == 1).collect();
+        Gf2Poly::from_exponents(&exps)
+    }
+
+    #[test]
+    fn spec_agrees_with_field_arithmetic() {
+        let field = gf256();
+        let spec = multiplier_spec(&field);
+        let m = field.m();
+        // A fixed spread of operand pairs, checked coefficient-wise
+        // against the field's own multiplication.
+        let mut x = 0x9eu64;
+        for _ in 0..32 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let (av, bv) = ((x >> 8) & 0xff, (x >> 32) & 0xff);
+            let a = poly_from_bits(av);
+            let b = poly_from_bits(bv);
+            let c = field.mul(&a, &b);
+            let mut assignment = vec![false; 2 * m];
+            for i in 0..m {
+                assignment[i] = av >> i & 1 == 1;
+                assignment[m + i] = bv >> i & 1 == 1;
+            }
+            for k in 0..m {
+                assert_eq!(
+                    spec.output(k).eval(&assignment),
+                    c.coeff(k),
+                    "c_{k} for a={av:#x}, b={bv:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spec_is_bilinear_with_disjoint_groups() {
+        let field = gf256();
+        let spec = multiplier_spec(&field);
+        let m = field.m();
+        for (k, poly) in spec.outputs().iter().enumerate() {
+            assert!(!poly.is_zero(), "c_{k} must not vanish");
+            for mono in poly.monomials() {
+                let vars = mono.vars();
+                assert_eq!(vars.len(), 2, "c_{k} monomial {mono} is not bilinear");
+                assert!((vars[0] as usize) < m, "c_{k}: {mono}");
+                let v = vars[1] as usize;
+                assert!((m..2 * m).contains(&v), "c_{k}: {mono}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_method_matches_the_spec_at_gf256() {
+        let field = gf256();
+        let spec = multiplier_spec(&field);
+        for method in Method::ALL {
+            let net = generate(&field, method);
+            let polys = netlist::algebra::output_polys(&net);
+            for (k, (got, want)) in polys.iter().zip(spec.outputs()).enumerate() {
+                assert_eq!(got, want, "{method:?} output bit {k}");
+            }
+        }
+    }
+}

@@ -1,0 +1,365 @@
+//! Complete (sampling-free) verification of multiplier netlists,
+//! gate-level and mapped, against an algebraic specification.
+//!
+//! Random-vector simulation ([`crate::Pipeline::verify`]) gives
+//! probabilistic evidence; this module gives proof. Every output cone
+//! is rewritten into its GF(2) polynomial over the primary inputs —
+//! gates via [`netlist::algebra`], LUTs by expanding their truth
+//! tables' algebraic normal form ([`crate::lut::Truth::anf`]) and
+//! substituting input polynomials — and the result is compared
+//! *syntactically* with the spec polynomial. The ANF is canonical, so
+//! syntactic equality is functional equality: a pass certifies the
+//! netlist on all 2^(2m) operand pairs, and a fail names the first
+//! differing output bit. Output bits are independent, so the check
+//! fans across threads with `std::thread::scope`, like the placer
+//! bands.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use netlist::algebra::{self, MulSpec, Poly};
+use netlist::Netlist;
+
+use crate::lut::{LutNetlist, Signal};
+
+/// How one output bit's extracted polynomial differs from the spec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FormalDiff {
+    /// The lowest-index output bit that differs.
+    pub output_bit: usize,
+    /// Spec monomials the netlist's polynomial lacks.
+    pub missing: usize,
+    /// Netlist monomials the spec lacks.
+    pub spurious: usize,
+}
+
+/// Formally verifies a gate-level netlist against `spec`.
+///
+/// The caller is responsible for interface checks (input/output
+/// counts); this function checks the *function*.
+///
+/// # Panics
+///
+/// Panics if the netlist's output count differs from `spec.m()`.
+pub fn verify_netlist(spec: &MulSpec, net: &Netlist) -> Result<(), FormalDiff> {
+    assert_eq!(
+        net.outputs().len(),
+        spec.m(),
+        "interface mismatch must be rejected before formal verification"
+    );
+    // Each worker extracts its own output cone — rewriting dominates
+    // the cost, so the per-bit fan parallelizes the real work, and a
+    // cone only contains the partial products its coordinate uses.
+    check_outputs(spec, |k| algebra::output_poly(net, k))
+}
+
+/// Formally verifies a mapped LUT netlist against `spec`, expanding
+/// each LUT through the algebraic normal form of its truth table.
+///
+/// # Panics
+///
+/// Panics if the output count differs from `spec.m()`, or if the LUT
+/// netlist is not topologically ordered (run
+/// [`crate::lint::lint_mapped`] first — the pipeline wrappers do).
+pub fn verify_mapped(spec: &MulSpec, mapped: &LutNetlist) -> Result<(), FormalDiff> {
+    assert_eq!(
+        mapped.outputs().len(),
+        spec.m(),
+        "interface mismatch must be rejected before formal verification"
+    );
+    check_outputs(spec, |k| output_poly_mapped(mapped, k))
+}
+
+/// The GF(2) polynomial computed by mapped output `k`.
+///
+/// # Panics
+///
+/// Panics if `k` is out of range or the netlist is not topologically
+/// ordered.
+pub fn output_poly_mapped(mapped: &LutNetlist, k: usize) -> Poly {
+    let (_, sig) = &mapped.outputs()[k];
+    match sig {
+        Signal::Input(i) => Poly::var(*i),
+        Signal::Const(b) => Poly::constant(*b),
+        Signal::Lut(root) => lut_cone_poly(mapped, *root),
+    }
+}
+
+/// Expands the cone of LUT `root` into its polynomial: each in-cone
+/// LUT's ANF is substituted with its input polynomials, ascending by
+/// LUT id (which the topological-order invariant makes a valid
+/// evaluation order).
+fn lut_cone_poly(mapped: &LutNetlist, root: u32) -> Poly {
+    let luts = mapped.luts();
+    let root = root as usize;
+    let mut in_cone = vec![false; luts.len()];
+    let mut stack = vec![root];
+    while let Some(i) = stack.pop() {
+        if std::mem::replace(&mut in_cone[i], true) {
+            continue;
+        }
+        for s in &luts[i].inputs {
+            if let Signal::Lut(j) = s {
+                let j = *j as usize;
+                assert!(
+                    j < i,
+                    "LUT {i} reads LUT {j}: not topologically ordered (lint first)"
+                );
+                stack.push(j);
+            }
+        }
+    }
+    let mut table: Vec<Option<Poly>> = vec![None; root + 1];
+    for i in 0..=root {
+        if !in_cone[i] {
+            continue;
+        }
+        let lut = &luts[i];
+        let n = lut.inputs.len();
+        let input_polys: Vec<Poly> = lut
+            .inputs
+            .iter()
+            .map(|s| match s {
+                Signal::Input(v) => Poly::var(*v),
+                Signal::Const(b) => Poly::constant(*b),
+                Signal::Lut(j) => table[*j as usize]
+                    .clone()
+                    .expect("operand cones computed first"),
+            })
+            .collect();
+        let mut acc = Poly::zero();
+        for mask in lut.truth.anf(n) {
+            // Π of the selected input polynomials; multiply small
+            // factors first to keep intermediates tight, and stop on a
+            // vanished product (a Const(false) input, say).
+            let mut factors: Vec<&Poly> = (0..n)
+                .filter(|b| mask >> b & 1 == 1)
+                .map(|b| &input_polys[b])
+                .collect();
+            factors.sort_by_key(|p| p.len());
+            let mut term = Poly::one();
+            for f in factors {
+                term = term.mul(f);
+                if term.is_zero() {
+                    break;
+                }
+            }
+            acc = acc.add(&term);
+        }
+        table[i] = Some(acc);
+    }
+    table[root].take().expect("root is in its own cone")
+}
+
+/// Compares every output polynomial with the spec, fanned across
+/// threads; reports the lowest failing bit (deterministic regardless
+/// of thread count or scheduling).
+fn check_outputs<F>(spec: &MulSpec, extract: F) -> Result<(), FormalDiff>
+where
+    F: Fn(usize) -> Poly + Sync,
+{
+    let n = spec.m();
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        for k in 0..n {
+            if let Some(d) = diff_bit(spec.output(k), &extract(k), k) {
+                return Err(d);
+            }
+        }
+        return Ok(());
+    }
+    let next = AtomicUsize::new(0);
+    let failures: Mutex<Vec<FormalDiff>> = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let k = next.fetch_add(1, Ordering::Relaxed);
+                if k >= n {
+                    break;
+                }
+                if let Some(d) = diff_bit(spec.output(k), &extract(k), k) {
+                    failures.lock().expect("formal failure list").push(d);
+                }
+            });
+        }
+    });
+    let mut failures = failures.into_inner().expect("formal failure list");
+    failures.sort_by_key(|d| d.output_bit);
+    match failures.first() {
+        Some(&d) => Err(d),
+        None => Ok(()),
+    }
+}
+
+/// `None` when equal; otherwise the monomial-set difference counts,
+/// via one sorted merge (both polynomials are canonical).
+fn diff_bit(spec: &Poly, got: &Poly, output_bit: usize) -> Option<FormalDiff> {
+    if spec == got {
+        return None;
+    }
+    let (a, b) = (spec.monomials(), got.monomials());
+    let (mut i, mut j) = (0, 0);
+    let (mut missing, mut spurious) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                missing += 1;
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                spurious += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    missing += a.len() - i;
+    spurious += b.len() - j;
+    Some(FormalDiff {
+        output_bit,
+        missing,
+        spurious,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::algebra::Monomial;
+
+    /// Hand-built 2-bit multiplier spec over GF(2^2), f = y² + y + 1:
+    /// c0 = a0b0 + a1b1, c1 = a0b1 + a1b0 + a1b1.
+    fn gf4_spec() -> MulSpec {
+        let c0 = Poly::from_monomials(vec![Monomial::product(&[0, 2]), Monomial::product(&[1, 3])]);
+        let c1 = Poly::from_monomials(vec![
+            Monomial::product(&[0, 3]),
+            Monomial::product(&[1, 2]),
+            Monomial::product(&[1, 3]),
+        ]);
+        MulSpec::new(2, vec![c0, c1])
+    }
+
+    fn gf4_netlist() -> Netlist {
+        let mut net = Netlist::new("gf4");
+        let a0 = net.input("a0");
+        let a1 = net.input("a1");
+        let b0 = net.input("b0");
+        let b1 = net.input("b1");
+        let p00 = net.and(a0, b0);
+        let p01 = net.and(a0, b1);
+        let p10 = net.and(a1, b0);
+        let p11 = net.and(a1, b1);
+        let c0 = net.xor(p00, p11);
+        let c1a = net.xor(p01, p10);
+        let c1 = net.xor(c1a, p11);
+        net.output("c0", c0);
+        net.output("c1", c1);
+        net
+    }
+
+    #[test]
+    fn gate_level_verification_accepts_a_correct_multiplier() {
+        assert_eq!(verify_netlist(&gf4_spec(), &gf4_netlist()), Ok(()));
+    }
+
+    #[test]
+    fn gate_level_verification_pinpoints_a_wrong_output() {
+        let mut net = Netlist::new("gf4bad");
+        let a0 = net.input("a0");
+        let a1 = net.input("a1");
+        let b0 = net.input("b0");
+        let b1 = net.input("b1");
+        let p00 = net.and(a0, b0);
+        let p01 = net.and(a0, b1);
+        let p10 = net.and(a1, b0);
+        let p11 = net.and(a1, b1);
+        let c0 = net.xor(p00, p11);
+        let c1 = net.xor(p01, p10); // dropped the p11 term
+        net.output("c0", c0);
+        net.output("c1", c1);
+        let d = verify_netlist(&gf4_spec(), &net).unwrap_err();
+        assert_eq!(
+            d,
+            FormalDiff {
+                output_bit: 1,
+                missing: 1,
+                spurious: 0
+            }
+        );
+    }
+
+    #[test]
+    fn mapped_verification_expands_lut_cones() {
+        use crate::lut::{Lut, LutNetlist, Signal, Truth};
+        // Same GF(4) multiplier as two 4-input LUTs.
+        let names = vec!["a0".into(), "a1".into(), "b0".into(), "b1".into()];
+        let mut mapped = LutNetlist::new("gf4map".into(), 4, names);
+        // Truth tables from the spec polynomials directly.
+        let spec = gf4_spec();
+        let mut t0 = Truth::ZERO;
+        let mut t1 = Truth::ZERO;
+        for idx in 0..16usize {
+            let assignment: Vec<bool> = (0..4).map(|v| idx >> v & 1 == 1).collect();
+            if spec.output(0).eval(&assignment) {
+                t0.0[0] |= 1 << idx;
+            }
+            if spec.output(1).eval(&assignment) {
+                t1.0[0] |= 1 << idx;
+            }
+        }
+        let inputs: Vec<Signal> = (0..4).map(Signal::Input).collect();
+        let l0 = mapped.push_lut(Lut {
+            inputs: inputs.clone(),
+            truth: t0,
+        });
+        let l1 = mapped.push_lut(Lut { inputs, truth: t1 });
+        mapped.push_output("c0".into(), Signal::Lut(l0));
+        mapped.push_output("c1".into(), Signal::Lut(l1));
+        assert_eq!(verify_mapped(&spec, &mapped), Ok(()));
+
+        // Flip one truth bit: caught, naming the right output.
+        let mut broken = mapped.clone();
+        let mut bad = t1;
+        bad.0[0] ^= 1 << 5;
+        broken.set_truth(l1, bad);
+        let d = verify_mapped(&spec, &broken).unwrap_err();
+        assert_eq!(d.output_bit, 1);
+        assert!(d.missing + d.spurious > 0);
+    }
+
+    #[test]
+    fn constant_and_passthrough_outputs() {
+        use crate::lut::{LutNetlist, Signal};
+        let spec = MulSpec::new(2, vec![Poly::var(0), Poly::zero()]);
+        let names = vec!["a0".into(), "a1".into(), "b0".into(), "b1".into()];
+        let mut mapped = LutNetlist::new("wires".into(), 4, names);
+        mapped.push_output("c0".into(), Signal::Input(0));
+        mapped.push_output("c1".into(), Signal::Const(false));
+        assert_eq!(verify_mapped(&spec, &mapped), Ok(()));
+        let wrong = MulSpec::new(2, vec![Poly::var(0), Poly::one()]);
+        let d = verify_mapped(&wrong, &mapped).unwrap_err();
+        assert_eq!(d.output_bit, 1);
+        assert_eq!((d.missing, d.spurious), (1, 0));
+    }
+
+    #[test]
+    fn diff_counts_are_symmetric_set_differences() {
+        let a = Poly::from_monomials(vec![
+            Monomial::var(0),
+            Monomial::var(1),
+            Monomial::product(&[2, 3]),
+        ]);
+        let b = Poly::from_monomials(vec![Monomial::var(1), Monomial::var(4)]);
+        let d = diff_bit(&a, &b, 7).unwrap();
+        assert_eq!(d.output_bit, 7);
+        assert_eq!(d.missing, 2); // x0 and x2x3
+        assert_eq!(d.spurious, 1); // x4
+        assert!(diff_bit(&a, &a, 0).is_none());
+    }
+}

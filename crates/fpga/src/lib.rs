@@ -30,7 +30,13 @@
 //!    (`Result<FlowArtifacts, FlowError>`), staged, memoized per input
 //!    design and **target-derived** ([`Pipeline::with_target`] is the
 //!    one device knob), producing the LUTs / Slices / ns / A×T quadruple
-//!    of the paper's Table V.
+//!    of the paper's Table V;
+//! 7. [`formal`] + [`lint`] — static analysis over both netlist levels:
+//!    complete algebraic verification against a multiplier spec
+//!    ([`Pipeline::verify_formal`] / [`Pipeline::verify_formal_mapped`],
+//!    no sampling, LUT cones expanded via [`lut::Truth::anf`]) and a
+//!    structural lint pass ([`lint::lint_mapped`]) that gates every
+//!    verify and feeds the `ImplReport` hygiene counters.
 //!
 //! The historical `FpgaFlow` facade (panicking, uncached) is gone; see
 //! the repository README's "Upgrading" section for the one-line
@@ -64,6 +70,8 @@
 #![warn(missing_docs)]
 
 pub mod device;
+pub mod formal;
+pub mod lint;
 pub mod lut;
 pub mod map;
 pub mod pack;
@@ -74,8 +82,10 @@ pub mod target;
 pub mod timing;
 
 pub use device::Device;
+pub use formal::FormalDiff;
+pub use lint::lint_mapped;
 pub use lut::LutNetlist;
 pub use map::{MapMode, MapOptions};
-pub use pipeline::{FlowArtifacts, FlowError, ImplReport, Pipeline};
+pub use pipeline::{FlowArtifacts, FlowError, ImplReport, Pipeline, DEFAULT_VERIFY_SEED};
 pub use place::{PlaceOptions, PlaceStats};
 pub use target::Target;

@@ -1,0 +1,314 @@
+//! Structural lint for mapped (LUT-level) netlists — the counterpart
+//! of [`netlist::lint::lint_netlist`], sharing its typed
+//! [`LintReport`].
+//!
+//! Errors mean the LUT netlist is not a valid combinational design
+//! (forward/self references breaking topological order, reads of
+//! missing LUTs or out-of-range primary inputs, outputs depending on
+//! such signals); warnings flag hygiene defects the mapper should not
+//! produce (dead LUTs, duplicate LUTs, truth tables that ignore a
+//! connected input). The pipeline runs this pass after every mapping —
+//! before any verification — and surfaces the duplicate/dead counts in
+//! `ImplReport`.
+
+use std::collections::HashMap;
+
+use netlist::lint::{LintKind, LintReport};
+
+use crate::lut::{LutNetlist, Signal, Truth};
+
+/// Lints a mapped LUT netlist.
+pub fn lint_mapped(mapped: &LutNetlist) -> LintReport {
+    let mut report = LintReport::new();
+    let luts = mapped.luts();
+    let n_inputs = mapped.input_names().len();
+
+    // Signal validity + topological order, per LUT input.
+    let mut invalid = vec![false; luts.len()];
+    for (i, lut) in luts.iter().enumerate() {
+        for (slot, s) in lut.inputs.iter().enumerate() {
+            match *s {
+                Signal::Input(v) if v as usize >= n_inputs => {
+                    invalid[i] = true;
+                    report.push(
+                        LintKind::UndrivenInput,
+                        i,
+                        format!(
+                            "LUT {i} input {slot} reads primary input {v}, but only {n_inputs} are declared"
+                        ),
+                    );
+                }
+                Signal::Lut(j) if j as usize >= luts.len() => {
+                    invalid[i] = true;
+                    report.push(
+                        LintKind::UndrivenInput,
+                        i,
+                        format!("LUT {i} input {slot} reads LUT {j}, which does not exist"),
+                    );
+                }
+                Signal::Lut(j) if j as usize >= i => {
+                    invalid[i] = true;
+                    report.push(
+                        LintKind::CombinationalCycle,
+                        i,
+                        format!("LUT {i} input {slot} reads LUT {j}, which does not precede it"),
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Output signal validity.
+    let mut bad_outputs = vec![false; mapped.outputs().len()];
+    for (k, (name, s)) in mapped.outputs().iter().enumerate() {
+        match *s {
+            Signal::Input(v) if v as usize >= n_inputs => {
+                bad_outputs[k] = true;
+                report.push(
+                    LintKind::UndrivenInput,
+                    k,
+                    format!(
+                        "output {k} ({name}) reads primary input {v}, but only {n_inputs} are declared"
+                    ),
+                );
+            }
+            Signal::Lut(j) if j as usize >= luts.len() => {
+                bad_outputs[k] = true;
+                report.push(
+                    LintKind::UndrivenInput,
+                    k,
+                    format!("output {k} ({name}) reads LUT {j}, which does not exist"),
+                );
+            }
+            _ => {}
+        }
+    }
+
+    // Outputs transitively depending on an invalid signal. A visited
+    // set guards the walk, so it terminates even on cyclic references.
+    if invalid.iter().any(|&b| b) || bad_outputs.iter().any(|&b| b) {
+        let mut tainted = vec![false; luts.len()];
+        let mut visited = vec![false; luts.len()];
+        fn taints(
+            luts: &[crate::lut::Lut],
+            invalid: &[bool],
+            tainted: &mut [bool],
+            visited: &mut [bool],
+            i: usize,
+        ) -> bool {
+            if visited[i] {
+                return tainted[i];
+            }
+            visited[i] = true;
+            let mut t = invalid[i];
+            for s in &luts[i].inputs {
+                if let Signal::Lut(j) = *s {
+                    let j = j as usize;
+                    if j < luts.len() && taints(luts, invalid, tainted, visited, j) {
+                        t = true;
+                    }
+                }
+            }
+            tainted[i] = t;
+            t
+        }
+        for (k, (name, s)) in mapped.outputs().iter().enumerate() {
+            let bad = bad_outputs[k]
+                || match *s {
+                    Signal::Lut(j) if (j as usize) < luts.len() => {
+                        taints(luts, &invalid, &mut tainted, &mut visited, j as usize)
+                    }
+                    _ => false,
+                };
+            if bad && !bad_outputs[k] {
+                report.push(
+                    LintKind::UndrivenOutput,
+                    k,
+                    format!("output {k} ({name}) transitively depends on an invalid signal"),
+                );
+            }
+        }
+    }
+
+    // Dead LUTs: drive neither a LUT input nor a primary output.
+    // Computed here rather than via `LutNetlist::lut_fanouts`, which
+    // (rightly) assumes the references this pass just checked.
+    let mut fanouts = vec![0usize; luts.len()];
+    for lut in luts {
+        for s in &lut.inputs {
+            if let Signal::Lut(j) = *s {
+                if (j as usize) < luts.len() {
+                    fanouts[j as usize] += 1;
+                }
+            }
+        }
+    }
+    for (_, s) in mapped.outputs() {
+        if let Signal::Lut(j) = *s {
+            if (j as usize) < luts.len() {
+                fanouts[j as usize] += 1;
+            }
+        }
+    }
+    for (i, f) in fanouts.iter().enumerate() {
+        if *f == 0 {
+            report.push(
+                LintKind::DeadNode,
+                i,
+                format!("LUT {i} drives neither a LUT input nor a primary output"),
+            );
+        }
+    }
+
+    // Duplicate LUTs: same input signals, same (masked) truth table.
+    let mut seen: HashMap<(Vec<Signal>, Truth), usize> = HashMap::new();
+    for (i, lut) in luts.iter().enumerate() {
+        let key = (lut.inputs.clone(), lut.truth.mask(lut.inputs.len()));
+        match seen.get(&key) {
+            Some(&first) => report.push(
+                LintKind::DuplicateGate,
+                i,
+                format!("LUT {i} has the same inputs and truth table as LUT {first}"),
+            ),
+            None => {
+                seen.insert(key, i);
+            }
+        }
+    }
+
+    // Truth tables constant in a connected input.
+    for (i, lut) in luts.iter().enumerate() {
+        let n = lut.inputs.len();
+        for v in 0..n {
+            let step = 1usize << v;
+            let ignored = (0..1usize << n)
+                .filter(|idx| idx & step == 0)
+                .all(|idx| lut.truth.bit(idx) == lut.truth.bit(idx | step));
+            if ignored {
+                report.push(
+                    LintKind::IgnoredLutInput,
+                    i,
+                    format!("LUT {i} truth table ignores connected input {v}"),
+                );
+            }
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lut::Lut;
+    use netlist::lint::Severity;
+
+    fn fresh(k: usize, n_inputs: usize) -> LutNetlist {
+        let names: Vec<String> = (0..n_inputs).map(|i| format!("x{i}")).collect();
+        LutNetlist::new("t".into(), k, names)
+    }
+
+    #[test]
+    fn clean_mapped_netlist() {
+        let mut n = fresh(4, 2);
+        let l0 = n.push_lut(Lut {
+            inputs: vec![Signal::Input(0), Signal::Input(1)],
+            truth: Truth::of(0b0110),
+        });
+        n.push_output("y".into(), Signal::Lut(l0));
+        let report = lint_mapped(&n);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn forward_reference_is_a_cycle_error() {
+        let mut n = fresh(4, 1);
+        let l0 = n.push_lut(Lut {
+            inputs: vec![Signal::Lut(1)], // reads a later LUT
+            truth: Truth::of(0b10),
+        });
+        n.push_lut(Lut {
+            inputs: vec![Signal::Input(0), Signal::Lut(l0)],
+            truth: Truth::of(0b0110),
+        });
+        n.push_output("y".into(), Signal::Lut(1));
+        let report = lint_mapped(&n);
+        assert!(report.has_errors());
+        assert_eq!(report.count(LintKind::CombinationalCycle), 1);
+        // The output depends on the broken LUT.
+        assert_eq!(report.count(LintKind::UndrivenOutput), 1);
+        assert_eq!(
+            report.first_error().unwrap().kind,
+            LintKind::CombinationalCycle
+        );
+    }
+
+    #[test]
+    fn out_of_range_reads_are_undriven_inputs() {
+        let mut n = fresh(4, 1);
+        n.push_lut(Lut {
+            inputs: vec![Signal::Input(7)],
+            truth: Truth::of(0b10),
+        });
+        n.push_output("y".into(), Signal::Lut(5));
+        let report = lint_mapped(&n);
+        assert_eq!(report.count(LintKind::UndrivenInput), 2);
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn dead_and_duplicate_luts_are_warnings() {
+        let mut n = fresh(4, 2);
+        let and = Lut {
+            inputs: vec![Signal::Input(0), Signal::Input(1)],
+            truth: Truth::of(0b1000),
+        };
+        let l0 = n.push_lut(and.clone());
+        let _dup = n.push_lut(and); // duplicate AND — and dead, too
+        n.push_output("y".into(), Signal::Lut(l0));
+        let report = lint_mapped(&n);
+        assert!(!report.has_errors());
+        assert_eq!(report.duplicate_gates(), 1);
+        assert_eq!(report.dead_nodes(), 1);
+        assert!(report
+            .findings()
+            .iter()
+            .all(|f| f.severity() == Severity::Warning));
+    }
+
+    #[test]
+    fn ignored_input_detected_and_masked_truth_compared() {
+        let mut n = fresh(4, 2);
+        // Truth 0b0101 over 2 vars: output = NOT input0, ignores input1.
+        let l0 = n.push_lut(Lut {
+            inputs: vec![Signal::Input(0), Signal::Input(1)],
+            truth: Truth::of(0b0101),
+        });
+        n.push_output("y".into(), Signal::Lut(l0));
+        let report = lint_mapped(&n);
+        assert_eq!(report.count(LintKind::IgnoredLutInput), 1);
+        assert!(report.findings()[0].message.contains("input 1"));
+    }
+
+    #[test]
+    fn constant_zero_lut_ignores_everything() {
+        let mut n = fresh(4, 1);
+        let l0 = n.push_lut(Lut {
+            inputs: vec![Signal::Input(0)],
+            truth: Truth::ZERO,
+        });
+        n.push_output("y".into(), Signal::Lut(l0));
+        let report = lint_mapped(&n);
+        assert_eq!(report.count(LintKind::IgnoredLutInput), 1);
+    }
+
+    #[test]
+    fn output_reading_missing_lut_is_an_error() {
+        let mut n = fresh(4, 1);
+        n.push_output("y".into(), Signal::Lut(0));
+        let report = lint_mapped(&n);
+        assert!(report.has_errors());
+        assert_eq!(report.count(LintKind::UndrivenInput), 1);
+    }
+}

@@ -59,6 +59,50 @@ impl Truth {
         (self.0[idx / 64] >> (idx % 64)) & 1 == 1
     }
 
+    /// The algebraic normal form of the low `2^vars` entries: every
+    /// variable subset (as a bitmask over the LUT's inputs) whose
+    /// product appears in the XOR-of-products expansion of the
+    /// function, ascending. Entries above `2^vars` are ignored.
+    ///
+    /// Computed by the Möbius (binary butterfly) transform; the ANF is
+    /// canonical, which is what lets the formal verifier expand a LUT
+    /// cone into the same polynomial algebra the gate-level verifier
+    /// uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vars` exceeds [`MAX_LUT_INPUTS`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rgf2m_fpga::lut::Truth;
+    ///
+    /// assert_eq!(Truth::of(0b0110).anf(2), vec![0b01, 0b10]); // a ^ b
+    /// assert_eq!(Truth::of(0b1000).anf(2), vec![0b11]);       // a & b
+    /// assert_eq!(Truth::of(0b01).anf(1), vec![0b0, 0b1]);     // 1 ^ a
+    /// ```
+    pub fn anf(self, vars: usize) -> Vec<u32> {
+        assert!(
+            vars <= MAX_LUT_INPUTS,
+            "ANF over at most {MAX_LUT_INPUTS} variables"
+        );
+        let n = 1usize << vars;
+        let mut a: Vec<bool> = (0..n).map(|idx| self.bit(idx)).collect();
+        for v in 0..vars {
+            let step = 1usize << v;
+            for mask in 0..n {
+                if mask & step != 0 {
+                    a[mask] ^= a[mask ^ step];
+                }
+            }
+        }
+        (0..n)
+            .filter(|&mask| a[mask])
+            .map(|mask| mask as u32)
+            .collect()
+    }
+
     /// Keeps only the entries a `vars`-variable function uses (the low
     /// `2^vars`), zeroing the rest — so tables of functions with
     /// different variable counts compare predictably.
@@ -424,6 +468,36 @@ mod tests {
         assert!(t.bit(255));
         assert!(!t.bit(64) && !t.bit(128));
         assert_eq!(!Truth::ZERO, Truth::ONES);
+    }
+
+    #[test]
+    fn anf_of_small_functions() {
+        // Majority of 3: ab ^ bc ^ ac.
+        assert_eq!(Truth::of(0b1110_1000).anf(3), vec![0b011, 0b101, 0b110]);
+        // Constants.
+        assert_eq!(Truth::ZERO.anf(3), Vec::<u32>::new());
+        assert_eq!(Truth::of(1).anf(0), vec![0]);
+        // OR: a ^ b ^ ab.
+        assert_eq!(Truth::of(0b1110).anf(2), vec![0b01, 0b10, 0b11]);
+        // High entries beyond 2^vars are ignored.
+        assert_eq!(Truth::ONES.anf(1), vec![0]);
+    }
+
+    #[test]
+    fn anf_reconstructs_the_truth_table() {
+        // Round-trip: evaluating the ANF at every point reproduces the
+        // table, for an arbitrary 7-variable function.
+        let t = Truth([0x9E3779B97F4A7C15, 0xDEADBEEFCAFEF00D, 0, 0]);
+        let anf = t.anf(7);
+        for idx in 0..128usize {
+            let v = anf
+                .iter()
+                .filter(|&&mask| mask as usize & idx == mask as usize)
+                .count()
+                % 2
+                == 1;
+            assert_eq!(v, t.bit(idx), "entry {idx}");
+        }
     }
 
     #[test]

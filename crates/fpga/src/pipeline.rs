@@ -99,6 +99,13 @@ pub struct ImplReport {
     pub depth: u32,
     /// Post-place critical path in ns.
     pub time_ns: f64,
+    /// Duplicate LUTs in the mapped netlist (same inputs, same truth
+    /// table), counted by the structural lint pass — netlist hygiene
+    /// for Table V rows.
+    pub dup_gates: usize,
+    /// Mapped LUTs driving neither a LUT input nor a primary output,
+    /// counted by the structural lint pass.
+    pub dead_nodes: usize,
 }
 
 impl ImplReport {
@@ -172,6 +179,32 @@ pub enum FlowError {
     /// contradicting the chosen [`Target`], an invalid field/job
     /// description...).
     InvalidOptions(String),
+    /// Complete algebraic verification ([`Pipeline::verify_formal`] /
+    /// [`Pipeline::verify_formal_mapped`]) found an output bit whose
+    /// extracted GF(2) polynomial differs from the multiplier
+    /// specification — unlike [`FlowError::VerificationMismatch`],
+    /// this is a proof of wrongness, not sampled evidence.
+    FormalMismatch {
+        /// The design name.
+        design: String,
+        /// The lowest-index output bit that differs.
+        output_bit: usize,
+        /// Spec monomials the netlist's polynomial lacks.
+        missing: usize,
+        /// Netlist monomials the spec lacks.
+        spurious: usize,
+    },
+    /// The structural lint pass found hard errors (combinational
+    /// cycles, undriven signals) — the netlist is not a valid
+    /// combinational design, so no verification was attempted.
+    LintErrors {
+        /// The design name.
+        design: String,
+        /// Number of error-severity findings.
+        errors: usize,
+        /// The first error finding, preformatted.
+        first: String,
+    },
 }
 
 impl fmt::Display for FlowError {
@@ -197,6 +230,24 @@ impl fmt::Display for FlowError {
                 "{design} is unplaceable: needs {slices} slices, device capacity is {capacity}"
             ),
             FlowError::InvalidOptions(msg) => write!(f, "invalid flow options: {msg}"),
+            FlowError::FormalMismatch {
+                design,
+                output_bit,
+                missing,
+                spurious,
+            } => write!(
+                f,
+                "formal verification of {design} failed at output bit {output_bit}: \
+                 {missing} spec monomial(s) missing, {spurious} spurious"
+            ),
+            FlowError::LintErrors {
+                design,
+                errors,
+                first,
+            } => write!(
+                f,
+                "{design} failed structural lint with {errors} error(s); first: {first}"
+            ),
         }
     }
 }
@@ -216,6 +267,7 @@ pub struct Pipeline {
     map_options: MapOptions,
     place_options: PlaceOptions,
     verify_rounds: usize,
+    verify_seed: u64,
     resynthesize: bool,
     max_slices: Option<usize>,
     cache: Mutex<HashMap<CacheKey, Arc<FlowArtifacts>>>,
@@ -238,6 +290,11 @@ pub struct Pipeline {
 /// [`Pipeline::clear_cache`] between batches.
 type CacheKey = (u64, u64);
 
+/// The seed sampled verification has always used; still the default so
+/// existing artifacts and reports stay comparable
+/// ([`Pipeline::with_verify_seed`] overrides it per pipeline).
+pub const DEFAULT_VERIFY_SEED: u64 = 0xC0FFEE;
+
 impl Pipeline {
     /// A pipeline targeting the default [`Target::Artix7`] fabric with
     /// default options (resynthesis enabled — the XST-like behaviour),
@@ -249,6 +306,7 @@ impl Pipeline {
             map_options: MapOptions::new(),
             place_options: PlaceOptions::default(),
             verify_rounds: 4,
+            verify_seed: DEFAULT_VERIFY_SEED,
             resynthesize: true,
             max_slices: None,
             cache: Mutex::new(HashMap::new()),
@@ -325,6 +383,14 @@ impl Pipeline {
         self
     }
 
+    /// Sets the RNG seed for the sampled verification vectors (default
+    /// [`DEFAULT_VERIFY_SEED`]). Part of the cache fingerprint, so a
+    /// cached artifact always records which seed vouched for it.
+    pub fn with_verify_seed(mut self, seed: u64) -> Self {
+        self.verify_seed = seed;
+        self
+    }
+
     /// Caps the slice count a design may occupy; packing a design past
     /// this returns [`FlowError::Unplaceable`]. `None` (the default)
     /// models an unbounded fabric.
@@ -356,6 +422,11 @@ impl Pipeline {
     /// The configured post-mapping verification rounds.
     pub fn verify_rounds(&self) -> usize {
         self.verify_rounds
+    }
+
+    /// The seed the sampled verification vectors are drawn from.
+    pub fn verify_seed(&self) -> u64 {
+        self.verify_seed
     }
 
     /// Whether the resynthesis pass is enabled.
@@ -459,7 +530,7 @@ impl Pipeline {
             });
         }
         if self.verify_rounds > 0
-            && !verify_mapping(reference, mapped, self.verify_rounds, 0xC0FFEE)
+            && !verify_mapping(reference, mapped, self.verify_rounds, self.verify_seed)
         {
             return Err(FlowError::VerificationMismatch {
                 design: reference.name().to_string(),
@@ -467,6 +538,73 @@ impl Pipeline {
             });
         }
         Ok(())
+    }
+
+    /// Complete, sampling-free verification of a gate-level netlist
+    /// against a multiplier specification (`rgf2m_core`'s
+    /// `multiplier_spec` builds one from a field).
+    ///
+    /// Runs the structural lint pass first — hard findings are
+    /// [`FlowError::LintErrors`], because no algebraic result over a
+    /// broken netlist means anything — then rewrites every output cone
+    /// into its GF(2) polynomial (fanned per output bit across
+    /// threads) and requires syntactic equality with the spec. A pass
+    /// certifies the design on *all* operand pairs; a failure is
+    /// [`FlowError::FormalMismatch`] naming the first wrong bit.
+    pub fn verify_formal(&self, spec: &netlist::MulSpec, net: &Netlist) -> Result<(), FlowError> {
+        self.validate()?;
+        let lint = netlist::lint_netlist(net);
+        if let Some(first) = lint.first_error() {
+            return Err(FlowError::LintErrors {
+                design: net.name().to_string(),
+                errors: lint.errors(),
+                first: first.to_string(),
+            });
+        }
+        if net.num_inputs() != spec.num_inputs() || net.outputs().len() != spec.m() {
+            return Err(FlowError::VerificationMismatch {
+                design: net.name().to_string(),
+                rounds: 0,
+            });
+        }
+        crate::formal::verify_netlist(spec, net).map_err(|d| FlowError::FormalMismatch {
+            design: net.name().to_string(),
+            output_bit: d.output_bit,
+            missing: d.missing,
+            spurious: d.spurious,
+        })
+    }
+
+    /// [`Pipeline::verify_formal`] for a mapped netlist: LUT cones are
+    /// expanded through the algebraic normal form of their truth
+    /// tables ([`crate::lut::Truth::anf`]), so the certificate covers
+    /// resynthesis *and* mapping in one step.
+    pub fn verify_formal_mapped(
+        &self,
+        spec: &netlist::MulSpec,
+        mapped: &LutNetlist,
+    ) -> Result<(), FlowError> {
+        self.validate()?;
+        let lint = crate::lint::lint_mapped(mapped);
+        if let Some(first) = lint.first_error() {
+            return Err(FlowError::LintErrors {
+                design: mapped.name().to_string(),
+                errors: lint.errors(),
+                first: first.to_string(),
+            });
+        }
+        if mapped.input_names().len() != spec.num_inputs() || mapped.outputs().len() != spec.m() {
+            return Err(FlowError::VerificationMismatch {
+                design: mapped.name().to_string(),
+                rounds: 0,
+            });
+        }
+        crate::formal::verify_mapped(spec, mapped).map_err(|d| FlowError::FormalMismatch {
+            design: mapped.name().to_string(),
+            output_bit: d.output_bit,
+            missing: d.missing,
+            spurious: d.spurious,
+        })
     }
 
     /// Stage 3: slice packing, checked against the configured capacity.
@@ -540,6 +678,17 @@ impl Pipeline {
         // reuses the pipeline's scratch arena across runs.
         let analysis = NetAnalysis::of(&synth);
         let mapped = self.map_analyzed(&synth, &analysis);
+        // Structural lint before any verification: hard findings abort
+        // the run, hygiene counts flow into the report (the lint pass
+        // is the single source of truth for them).
+        let lint = crate::lint::lint_mapped(&mapped);
+        if let Some(first) = lint.first_error() {
+            return Err(FlowError::LintErrors {
+                design: net.name().to_string(),
+                errors: lint.errors(),
+                first: first.to_string(),
+            });
+        }
         self.verify(net, &mapped)?;
         let packing = self.pack(&mapped)?;
         let placement = self.place(&mapped, &packing)?;
@@ -550,6 +699,8 @@ impl Pipeline {
             slices: packing.num_slices(),
             depth: mapped.depth(),
             time_ns: timing.critical_ns,
+            dup_gates: lint.duplicate_gates(),
+            dead_nodes: lint.dead_nodes(),
         };
         let artifacts = Arc::new(FlowArtifacts {
             mapped,
@@ -591,6 +742,7 @@ impl Pipeline {
             map_options: self.map_options.clone(),
             place_options: self.place_options.clone(),
             verify_rounds: self.verify_rounds,
+            verify_seed: self.verify_seed,
             resynthesize: self.resynthesize,
             max_slices: self.max_slices,
             cache: Mutex::new(HashMap::new()),
@@ -629,6 +781,7 @@ impl Pipeline {
         h.write_usize(self.place_options.max_total_moves);
         h.write_usize(self.place_options.threads);
         h.write_usize(self.verify_rounds);
+        h.write_u64(self.verify_seed);
         h.write_u64(u64::from(self.resynthesize));
         match self.max_slices {
             None => h.write_u64(0),
@@ -662,6 +815,7 @@ impl Clone for Pipeline {
             map_options: self.map_options.clone(),
             place_options: self.place_options.clone(),
             verify_rounds: self.verify_rounds,
+            verify_seed: self.verify_seed,
             resynthesize: self.resynthesize,
             max_slices: self.max_slices,
             cache: Mutex::new(self.cache.lock().expect("pipeline cache poisoned").clone()),
@@ -939,6 +1093,99 @@ mod tests {
     }
 
     #[test]
+    fn verify_seed_is_configurable_and_fingerprinted() {
+        let net = xor_tree(32);
+        let a = Pipeline::new();
+        assert_eq!(a.verify_seed(), DEFAULT_VERIFY_SEED);
+        let b = Pipeline::new().with_verify_seed(42);
+        assert_eq!(b.verify_seed(), 42);
+        // The seed is part of the memoization key: an artifact records
+        // which vectors vouched for it.
+        assert_ne!(a.cache_key(&net), b.cache_key(&net));
+        // Both seeds verify a correct mapping.
+        let synth = b.resynth(&net).unwrap();
+        let mapped = b.map(&synth).unwrap();
+        b.verify(&net, &mapped).unwrap();
+        // The seed survives clone_config and Clone.
+        assert_eq!(b.clone_config().verify_seed(), 42);
+        assert_eq!(b.clone().verify_seed(), 42);
+    }
+
+    #[test]
+    fn run_reports_hygiene_counts() {
+        let report = Pipeline::new().run_report(&xor_tree(48)).unwrap();
+        // The mapper emits no duplicate and no dead LUTs on a clean
+        // design; the report proves the lint pass agrees.
+        assert_eq!(report.dup_gates, 0);
+        assert_eq!(report.dead_nodes, 0);
+    }
+
+    #[test]
+    fn formal_verification_accepts_and_rejects() {
+        use netlist::algebra::{Monomial, Poly};
+        // GF(2^2) multiplier, f = y² + y + 1 (hand-derived spec).
+        let spec = netlist::MulSpec::new(
+            2,
+            vec![
+                Poly::from_monomials(vec![Monomial::product(&[0, 2]), Monomial::product(&[1, 3])]),
+                Poly::from_monomials(vec![
+                    Monomial::product(&[0, 3]),
+                    Monomial::product(&[1, 2]),
+                    Monomial::product(&[1, 3]),
+                ]),
+            ],
+        );
+        let mut net = Netlist::new("gf4");
+        let a0 = net.input("a0");
+        let a1 = net.input("a1");
+        let b0 = net.input("b0");
+        let b1 = net.input("b1");
+        let p00 = net.and(a0, b0);
+        let p01 = net.and(a0, b1);
+        let p10 = net.and(a1, b0);
+        let p11 = net.and(a1, b1);
+        let c0 = net.xor(p00, p11);
+        let c1a = net.xor(p01, p10);
+        let c1 = net.xor(c1a, p11);
+        net.output("c0", c0);
+        net.output("c1", c1);
+
+        let p = Pipeline::new();
+        p.verify_formal(&spec, &net).unwrap();
+        let synth = p.resynth(&net).unwrap();
+        let mut mapped = p.map(&synth).unwrap();
+        p.verify_formal_mapped(&spec, &mapped).unwrap();
+
+        // A flipped truth bit is caught with a named output bit.
+        let bad = {
+            let mut t = mapped.luts()[mapped.num_luts() - 1].truth;
+            t.0[0] ^= 1;
+            t
+        };
+        mapped.set_truth(mapped.num_luts() as u32 - 1, bad);
+        match p.verify_formal_mapped(&spec, &mapped) {
+            Err(FlowError::FormalMismatch {
+                design,
+                output_bit,
+                missing,
+                spurious,
+            }) => {
+                assert_eq!(design, "gf4");
+                assert!(output_bit < 2);
+                assert!(missing + spurious > 0);
+            }
+            other => panic!("expected FormalMismatch, got {other:?}"),
+        }
+
+        // An interface mismatch is still VerificationMismatch(rounds=0).
+        let wrong_m = netlist::MulSpec::new(3, vec![Poly::zero(), Poly::zero(), Poly::zero()]);
+        assert!(matches!(
+            p.verify_formal(&wrong_m, &net),
+            Err(FlowError::VerificationMismatch { rounds: 0, .. })
+        ));
+    }
+
+    #[test]
     fn error_messages_are_informative() {
         let e = FlowError::VerificationMismatch {
             design: "d".into(),
@@ -953,5 +1200,22 @@ mod tests {
         assert!(e.to_string().contains("unplaceable"));
         let e = FlowError::InvalidOptions("k".into());
         assert!(e.to_string().contains("invalid flow options"));
+        let e = FlowError::FormalMismatch {
+            design: "d".into(),
+            output_bit: 7,
+            missing: 2,
+            spurious: 1,
+        };
+        let text = e.to_string();
+        assert!(text.contains("output bit 7"), "{text}");
+        assert!(text.contains("2 spec monomial(s) missing"), "{text}");
+        let e = FlowError::LintErrors {
+            design: "d".into(),
+            errors: 3,
+            first: "error[combinational-cycle]: LUT 5".into(),
+        };
+        let text = e.to_string();
+        assert!(text.contains("structural lint with 3 error(s)"), "{text}");
+        assert!(text.contains("combinational-cycle"), "{text}");
     }
 }

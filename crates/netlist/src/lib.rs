@@ -14,6 +14,11 @@
 //! * [`sim`] — 64-way bit-parallel simulation and equivalence checking;
 //! * [`analysis`] — gate counts, AND/XOR depth (the paper's `T_A + kT_X`
 //!   metric), fanout, levelization;
+//! * [`algebra`] — GF(2) polynomial extraction (algebraic normal form
+//!   per output cone), the engine behind complete multiplier
+//!   verification and reduction-polynomial reverse engineering;
+//! * [`lint`] — structural hygiene checks (cycles, undriven signals,
+//!   dead nodes, duplicate gates) as a typed [`lint::LintReport`];
 //! * [`export`] — structural VHDL, Verilog, DOT and BLIF backends.
 //!
 //! # Examples
@@ -36,11 +41,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod algebra;
 pub mod analysis;
 pub mod export;
+pub mod lint;
 pub mod sim;
 
 mod ir;
 
+pub use algebra::{MulSpec, Poly};
 pub use analysis::{Depth, Stats};
 pub use ir::{Fnv1a, Gate, Netlist, NodeId};
+pub use lint::{lint_netlist, LintReport};

@@ -1,0 +1,470 @@
+//! Structural lint over netlists: typed findings about hygiene defects
+//! that simulation cannot see and verification should not have to
+//! tolerate.
+//!
+//! The checks split into hard **errors** — the netlist is not a valid
+//! combinational design, so no verification result over it means
+//! anything (combinational cycles / non-topological order, undriven
+//! signals, outputs depending on undriven signals) — and **warnings** —
+//! the design is valid but wasteful or suspicious (dead nodes,
+//! duplicate gates, LUT truth tables ignoring a connected input).
+//!
+//! [`lint_netlist`] covers the gate-level [`Netlist`]; the mapped
+//! (LUT-level) counterpart lives in `rgf2m_fpga::lint::lint_mapped` and
+//! reuses the same [`LintReport`] type, which is also the single source
+//! of truth for the hygiene counters (`dup_gates`, `dead_nodes`)
+//! surfaced in implementation reports.
+//!
+//! # Examples
+//!
+//! ```
+//! use netlist::lint::{lint_netlist, LintKind};
+//! use netlist::Netlist;
+//!
+//! let mut net = Netlist::new("dead");
+//! let a = net.input("a");
+//! let b = net.input("b");
+//! let keep = net.xor(a, b);
+//! net.and(a, b); // never referenced again
+//! net.output("y", keep);
+//!
+//! let report = lint_netlist(&net);
+//! assert!(!report.has_errors());
+//! assert_eq!(report.count(LintKind::DeadNode), 1);
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::analysis::NetAnalysis;
+use crate::{Gate, Netlist};
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Severity {
+    /// Valid but wasteful or suspicious.
+    Warning,
+    /// The netlist is not a valid combinational design.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase name (`"warning"` / `"error"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The category of a lint finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LintKind {
+    /// A gate reads a node that does not precede it — a combinational
+    /// cycle or a violation of the topological-order invariant.
+    CombinationalCycle,
+    /// A node reads a signal that nothing drives (an out-of-range
+    /// input index or a reference to a missing node).
+    UndrivenInput,
+    /// A primary output transitively depends on an undriven signal.
+    UndrivenOutput,
+    /// A non-output node that nothing reads.
+    DeadNode,
+    /// Two gates with the same operation and the same input set.
+    DuplicateGate,
+    /// A LUT truth table that is constant in one of its connected
+    /// inputs (LUT-level lint only).
+    IgnoredLutInput,
+}
+
+impl LintKind {
+    /// The severity class of this kind of finding.
+    pub fn severity(self) -> Severity {
+        match self {
+            LintKind::CombinationalCycle | LintKind::UndrivenInput | LintKind::UndrivenOutput => {
+                Severity::Error
+            }
+            LintKind::DeadNode | LintKind::DuplicateGate | LintKind::IgnoredLutInput => {
+                Severity::Warning
+            }
+        }
+    }
+
+    /// Kebab-case name, as printed by the `lint_netlist` bin.
+    pub fn name(self) -> &'static str {
+        match self {
+            LintKind::CombinationalCycle => "combinational-cycle",
+            LintKind::UndrivenInput => "undriven-input",
+            LintKind::UndrivenOutput => "undriven-output",
+            LintKind::DeadNode => "dead-node",
+            LintKind::DuplicateGate => "duplicate-gate",
+            LintKind::IgnoredLutInput => "ignored-lut-input",
+        }
+    }
+}
+
+impl fmt::Display for LintKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One lint finding, anchored to a node (gate-level) or LUT/output
+/// index (LUT-level) — the message says which.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintFinding {
+    /// What category of defect this is.
+    pub kind: LintKind,
+    /// The node/LUT/output index the finding anchors on.
+    pub node: usize,
+    /// Human-readable description naming the involved signals.
+    pub message: String,
+}
+
+impl LintFinding {
+    /// The severity, derived from the kind.
+    pub fn severity(&self) -> Severity {
+        self.kind.severity()
+    }
+}
+
+impl fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.severity(), self.kind, self.message)
+    }
+}
+
+/// The outcome of a lint pass: all findings, in check order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LintReport {
+    findings: Vec<LintFinding>,
+}
+
+impl LintReport {
+    /// An empty (clean) report.
+    pub fn new() -> LintReport {
+        LintReport::default()
+    }
+
+    /// Records a finding.
+    pub fn push(&mut self, kind: LintKind, node: usize, message: String) {
+        self.findings.push(LintFinding {
+            kind,
+            node,
+            message,
+        });
+    }
+
+    /// All findings, in the order the checks produced them.
+    pub fn findings(&self) -> &[LintFinding] {
+        &self.findings
+    }
+
+    /// Number of findings of one kind.
+    pub fn count(&self, kind: LintKind) -> usize {
+        self.findings.iter().filter(|f| f.kind == kind).count()
+    }
+
+    /// Number of error-severity findings.
+    pub fn errors(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity() == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warnings(&self) -> usize {
+        self.findings.len() - self.errors()
+    }
+
+    /// `true` when there are no findings at all.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// `true` when any finding is error-severity.
+    pub fn has_errors(&self) -> bool {
+        self.errors() > 0
+    }
+
+    /// The first error-severity finding, if any.
+    pub fn first_error(&self) -> Option<&LintFinding> {
+        self.findings
+            .iter()
+            .find(|f| f.severity() == Severity::Error)
+    }
+
+    /// Duplicate-gate count — the `dup_gates` hygiene figure reported
+    /// in `ImplReport`.
+    pub fn duplicate_gates(&self) -> usize {
+        self.count(LintKind::DuplicateGate)
+    }
+
+    /// Dead-node count — the `dead_nodes` hygiene figure reported in
+    /// `ImplReport`.
+    pub fn dead_nodes(&self) -> usize {
+        self.count(LintKind::DeadNode)
+    }
+
+    /// One-line summary, e.g. `"clean"` or `"1 error(s), 3 warning(s)"`.
+    pub fn summary(&self) -> String {
+        if self.is_clean() {
+            "clean".to_string()
+        } else {
+            format!("{} error(s), {} warning(s)", self.errors(), self.warnings())
+        }
+    }
+}
+
+impl fmt::Display for LintReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return write!(f, "clean");
+        }
+        for (i, finding) in self.findings.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{finding}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Lints a gate-level netlist.
+///
+/// The hash-consing [`Netlist`] builder makes some of these defects
+/// impossible to construct through its public API (duplicate gates fold
+/// into one node, operands always precede users); the checks run
+/// anyway so the pass also covers netlists arriving from imports or
+/// future builders, and so a report is a positive certificate rather
+/// than an assumption.
+pub fn lint_netlist(net: &Netlist) -> LintReport {
+    let mut report = LintReport::new();
+
+    // Topological order / combinational cycles: every operand must
+    // strictly precede its user.
+    for id in net.node_ids() {
+        if let Gate::And(a, b) | Gate::Xor(a, b) = net.gate(id) {
+            for op in [a, b] {
+                if op >= id {
+                    report.push(
+                        LintKind::CombinationalCycle,
+                        id.index(),
+                        format!(
+                            "node {} reads node {}, which does not precede it",
+                            id.index(),
+                            op.index()
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    // Undriven signals: an Input gate whose index is outside the
+    // declared primary-input range.
+    let n_inputs = net.num_inputs();
+    let mut undriven = vec![false; net.len()];
+    for id in net.node_ids() {
+        if let Gate::Input(i) = net.gate(id) {
+            if (i as usize) >= n_inputs {
+                undriven[id.index()] = true;
+                report.push(
+                    LintKind::UndrivenInput,
+                    id.index(),
+                    format!(
+                        "node {} reads primary input {}, but only {} are declared",
+                        id.index(),
+                        i,
+                        n_inputs
+                    ),
+                );
+            }
+        }
+    }
+
+    // Outputs transitively depending on an undriven signal. (Only
+    // backward edges are followed, so this stays sound even when order
+    // violations were found above.)
+    if undriven.iter().any(|&u| u) {
+        let mut tainted = undriven;
+        for id in net.node_ids() {
+            if let Gate::And(a, b) | Gate::Xor(a, b) = net.gate(id) {
+                if a < id && b < id && (tainted[a.index()] || tainted[b.index()]) {
+                    tainted[id.index()] = true;
+                }
+            }
+        }
+        for (k, (name, n)) in net.outputs().iter().enumerate() {
+            if tainted[n.index()] {
+                report.push(
+                    LintKind::UndrivenOutput,
+                    n.index(),
+                    format!("output {k} ({name}) transitively depends on an undriven input"),
+                );
+            }
+        }
+    }
+
+    // Dead nodes: gates and constants nothing reads. Primary inputs
+    // are exempt — an unused input is part of the declared interface,
+    // not a hygiene defect.
+    let analysis = NetAnalysis::of(net);
+    for id in net.node_ids() {
+        if analysis.fanouts[id.index()] == 0 && !matches!(net.gate(id), Gate::Input(_)) {
+            report.push(
+                LintKind::DeadNode,
+                id.index(),
+                format!(
+                    "node {} ({:?}) drives neither a gate nor a primary output",
+                    id.index(),
+                    net.gate(id)
+                ),
+            );
+        }
+    }
+
+    // Duplicate gates: same op, same input set. AND/XOR are both
+    // commutative, so operand order is normalized before comparing.
+    let mut seen: HashMap<(bool, u32, u32), usize> = HashMap::new();
+    for id in net.node_ids() {
+        let key = match net.gate(id) {
+            Gate::And(a, b) => (
+                true,
+                a.index().min(b.index()) as u32,
+                a.index().max(b.index()) as u32,
+            ),
+            Gate::Xor(a, b) => (
+                false,
+                a.index().min(b.index()) as u32,
+                a.index().max(b.index()) as u32,
+            ),
+            _ => continue,
+        };
+        match seen.get(&key) {
+            Some(&first) => report.push(
+                LintKind::DuplicateGate,
+                id.index(),
+                format!(
+                    "node {} computes the same {} over the same inputs as node {first}",
+                    id.index(),
+                    if key.0 { "AND" } else { "XOR" },
+                ),
+            ),
+            None => {
+                seen.insert(key, id.index());
+            }
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clean_net() -> Netlist {
+        let mut net = Netlist::new("clean");
+        let a = net.input("a");
+        let b = net.input("b");
+        let p = net.and(a, b);
+        let y = net.xor(p, a);
+        net.output("y", y);
+        net
+    }
+
+    #[test]
+    fn clean_netlist_is_clean() {
+        let report = lint_netlist(&clean_net());
+        assert!(report.is_clean(), "{report}");
+        assert!(!report.has_errors());
+        assert_eq!(report.summary(), "clean");
+        assert_eq!(report.to_string(), "clean");
+        assert_eq!(report.first_error(), None);
+    }
+
+    #[test]
+    fn dead_gate_is_a_warning() {
+        let mut net = Netlist::new("dead");
+        let a = net.input("a");
+        let b = net.input("b");
+        let keep = net.xor(a, b);
+        net.and(a, b); // dead
+        net.output("y", keep);
+        let report = lint_netlist(&net);
+        assert!(!report.has_errors());
+        assert_eq!(report.count(LintKind::DeadNode), 1);
+        assert_eq!(report.dead_nodes(), 1);
+        assert_eq!(report.warnings(), 1);
+        assert_eq!(report.summary(), "0 error(s), 1 warning(s)");
+        let f = &report.findings()[0];
+        assert_eq!(f.severity(), Severity::Warning);
+        assert!(f.to_string().starts_with("warning[dead-node]"), "{f}");
+    }
+
+    #[test]
+    fn unused_primary_input_is_not_dead() {
+        let mut net = Netlist::new("iface");
+        let a = net.input("a");
+        let _b = net.input("b"); // declared but unused — interface, not hygiene
+        let y = net.and(a, a); // folds to a; build something real instead
+        net.output("y", y);
+        assert!(lint_netlist(&net).is_clean());
+    }
+
+    #[test]
+    fn hash_consing_prevents_duplicates_and_lint_confirms() {
+        let mut net = Netlist::new("dup");
+        let a = net.input("a");
+        let b = net.input("b");
+        let p = net.and(a, b);
+        let q = net.and(b, a); // hash-consing folds this into p
+        assert_eq!(p, q);
+        let y = net.xor(p, a);
+        net.output("y", y);
+        let report = lint_netlist(&net);
+        assert_eq!(report.duplicate_gates(), 0);
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn severities_and_names() {
+        assert_eq!(LintKind::CombinationalCycle.severity(), Severity::Error);
+        assert_eq!(LintKind::UndrivenInput.severity(), Severity::Error);
+        assert_eq!(LintKind::UndrivenOutput.severity(), Severity::Error);
+        assert_eq!(LintKind::DeadNode.severity(), Severity::Warning);
+        assert_eq!(LintKind::DuplicateGate.severity(), Severity::Warning);
+        assert_eq!(LintKind::IgnoredLutInput.severity(), Severity::Warning);
+        assert_eq!(LintKind::IgnoredLutInput.name(), "ignored-lut-input");
+        assert_eq!(Severity::Error.to_string(), "error");
+    }
+
+    #[test]
+    fn report_display_lists_findings() {
+        let mut report = LintReport::new();
+        report.push(LintKind::DeadNode, 3, "node 3 is dead".into());
+        report.push(LintKind::CombinationalCycle, 5, "node 5 loops".into());
+        let text = report.to_string();
+        assert!(
+            text.contains("warning[dead-node]: node 3 is dead"),
+            "{text}"
+        );
+        assert!(
+            text.contains("error[combinational-cycle]: node 5 loops"),
+            "{text}"
+        );
+        assert_eq!(report.errors(), 1);
+        assert!(report.has_errors());
+        assert_eq!(report.first_error().unwrap().node, 5);
+    }
+}

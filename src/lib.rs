@@ -109,14 +109,15 @@ pub use rgf2m_fpga as fpga;
 pub mod prelude {
     pub use gf2m::{Field, FieldError, MastrovitoMatrix, ReductionMatrix};
     pub use gf2poly::{is_irreducible, Gf2Poly, PentanomialError, TypeIiPentanomial};
-    pub use netlist::{Gate, Netlist, NodeId};
+    pub use netlist::{lint_netlist, Gate, LintReport, MulSpec, Netlist, NodeId, Poly};
     pub use rgf2m_baselines::School;
     pub use rgf2m_core::{
-        generate, AtomKind, CoefficientTable, FlatCoefficientTable, MastrovitoPaar, Method,
-        MultiplierGenerator, ProductTerm, Rashidi, ReyhaniHasan, SiTi, SplitAtom,
+        anonymize, generate, multiplier_spec, reverse_engineer, AtomKind, CoefficientTable,
+        FlatCoefficientTable, MastrovitoPaar, Method, MultiplierGenerator, ProductTerm, Rashidi,
+        RecoveredField, ReyhaniHasan, SiTi, SplitAtom,
     };
     pub use rgf2m_fpga::{
-        Device, FlowArtifacts, FlowError, ImplReport, MapMode, MapOptions, Pipeline, PlaceOptions,
-        Target,
+        lint_mapped, Device, FlowArtifacts, FlowError, ImplReport, MapMode, MapOptions, Pipeline,
+        PlaceOptions, Target, DEFAULT_VERIFY_SEED,
     };
 }

@@ -149,6 +149,65 @@ fn designs_too_big_for_the_device_are_unplaceable() {
 }
 
 #[test]
+fn formal_verification_failures_are_typed_errors() {
+    let field = Field::from_pentanomial(&TypeIiPentanomial::new(8, 2).unwrap());
+    let spec = multiplier_spec(&field);
+    let net = gf256_net();
+    let pipeline = Pipeline::new();
+
+    // The complete certificate passes at both netlist levels...
+    pipeline
+        .verify_formal(&spec, &net)
+        .expect("correct netlist carries the certificate");
+    let mut mapped = pipeline
+        .map(&pipeline.resynth(&net).unwrap())
+        .expect("mapping succeeds");
+    pipeline
+        .verify_formal_mapped(&spec, &mapped)
+        .expect("correct mapping carries the certificate");
+
+    // ...and a corrupted LUT surfaces as FormalMismatch naming the
+    // first wrong output bit, with a usable message.
+    let truth = mapped.luts()[0].truth;
+    mapped.set_truth(0, !truth);
+    match pipeline.verify_formal_mapped(&spec, &mapped) {
+        Err(e @ FlowError::FormalMismatch { output_bit, .. }) => {
+            assert!(output_bit < 8);
+            let msg = e.to_string();
+            assert!(msg.contains("formal verification"), "{msg}");
+        }
+        other => panic!("expected FormalMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn lint_reaches_the_facade_and_its_error_variant_is_informative() {
+    // The hash-consing builder cannot construct a structurally broken
+    // netlist, so through the facade both lint levels report clean on
+    // generated designs (with hygiene warnings at most)...
+    let net = gf256_net();
+    let gate_report = lint_netlist(&net);
+    assert!(!gate_report.has_errors(), "{gate_report}");
+    let pipeline = Pipeline::new();
+    let mapped = pipeline.map(&pipeline.resynth(&net).unwrap()).unwrap();
+    let mapped_report = lint_mapped(&mapped);
+    assert!(!mapped_report.has_errors(), "{mapped_report}");
+    assert_eq!(mapped_report.duplicate_gates(), 0);
+    assert_eq!(mapped_report.dead_nodes(), 0);
+
+    // ...and the typed error the pipeline raises when lint *does* find
+    // errors (crate-internal paths can) formats usably.
+    let e = FlowError::LintErrors {
+        design: "broken".into(),
+        errors: 2,
+        first: "error[undriven-input]: node 3 reads input 99".into(),
+    };
+    let msg = e.to_string();
+    assert!(msg.contains("lint"), "{msg}");
+    assert!(msg.contains("undriven-input"), "{msg}");
+}
+
+#[test]
 fn the_happy_path_still_returns_ok_artifacts() {
     let net = gf256_net();
     let pipeline = Pipeline::new();
