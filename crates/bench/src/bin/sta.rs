@@ -1,0 +1,157 @@
+//! Full static timing analysis and static depth certification for the
+//! generated multiplier netlists: per-endpoint slack, the slack
+//! histogram, top-K critical path traces (input pad → LUT chain →
+//! output pad) and the `delay_spec` depth certificate per method.
+//!
+//! Usage:
+//!   sta                        # (8,2), all six methods, artix7
+//!   sta --only M,N             # another Table V field
+//!   sta --method NAME          # a single method (e.g. proposed)
+//!   sta --target NAME          # another fabric (e.g. spartan3)
+//!   sta --all-targets          # every registered fabric
+//!   sta --paths K              # trace the K worst paths (default 2)
+//!   sta --target-ns X          # required time at the outputs in ns
+//!                              # (default: the design's own critical
+//!                              # delay, so slack is a consistency
+//!                              # check rather than a constraint)
+//!
+//! Exits nonzero if any design misses its required time (negative
+//! slack) or violates its Table V depth bound. This is the CI gate for
+//! the paper's delay claims.
+
+use rgf2m_bench::{arg_value, field_for, harness_pipeline};
+use rgf2m_core::{delay_spec, gen::generate, Method};
+use rgf2m_fpga::{analyze_sta, StaOptions, Target};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (m, n) = arg_value(&args, "--only")
+        .map(|v| {
+            let parts: Vec<usize> = v
+                .split(',')
+                .map(|t| t.trim().parse().expect("--only wants M,N"))
+                .collect();
+            assert_eq!(parts.len(), 2, "--only wants M,N");
+            (parts[0], parts[1])
+        })
+        .unwrap_or((8, 2));
+    let methods: Vec<Method> = match arg_value(&args, "--method") {
+        Some(name) => vec![Method::from_name(&name)
+            .unwrap_or_else(|| panic!("unknown method {name:?} (see Method::name)"))],
+        None => Method::ALL.to_vec(),
+    };
+    let targets: Vec<Target> = if args.iter().any(|a| a == "--all-targets") {
+        Target::ALL.to_vec()
+    } else {
+        let name = arg_value(&args, "--target").unwrap_or_else(|| "artix7".into());
+        vec![Target::from_name(&name)
+            .unwrap_or_else(|| panic!("unknown target {name:?} (see Target::from_name)"))]
+    };
+    let options = StaOptions {
+        target_ns: arg_value(&args, "--target-ns")
+            .map(|v| v.parse().expect("--target-ns wants a number")),
+        max_paths: arg_value(&args, "--paths")
+            .map(|v| v.parse().expect("--paths wants a count"))
+            .unwrap_or(2),
+        ..StaOptions::default()
+    };
+
+    let field = field_for(m, n);
+    let mut failures = 0usize;
+
+    println!(
+        "STA over GF(2^{m}) (n = {n}): {} method(s) x {} target(s), {} path(s) each",
+        methods.len(),
+        targets.len(),
+        options.max_paths
+    );
+    println!();
+
+    for method in &methods {
+        let net = generate(&field, *method);
+        let spec = delay_spec(&field, *method);
+        println!(
+            "  {:<14} depth bound {} ({})",
+            method.name(),
+            spec.worst(),
+            method.citation()
+        );
+
+        for target in &targets {
+            let pipeline = harness_pipeline().with_target(*target);
+
+            // The depth certificate is target-independent (it is a
+            // claim about the generator's gate-level structure), but
+            // running it per pipeline keeps the failure attribution
+            // obvious in mixed-target sweeps.
+            match pipeline.verify_depth(&spec, &net) {
+                Ok(()) => println!(
+                    "    [{:<11}] depth certificate: all {} output cones within bound",
+                    target.name(),
+                    net.outputs().len()
+                ),
+                Err(e) => {
+                    failures += 1;
+                    println!("    [{:<11}] depth certificate FAILED — {e}", target.name());
+                }
+            }
+
+            let artifacts = match pipeline.run(&net) {
+                Ok(a) => a,
+                Err(e) => {
+                    failures += 1;
+                    println!("    [{:<11}] flow FAILED — {e}", target.name());
+                    continue;
+                }
+            };
+            let sta = analyze_sta(
+                &artifacts.mapped,
+                &artifacts.packing,
+                &artifacts.placement,
+                pipeline.device(),
+                &options,
+            );
+            let tied = if sta.critical_outputs.len() > 1 {
+                format!(" ({} outputs tied)", sta.critical_outputs.len())
+            } else {
+                String::new()
+            };
+            println!(
+                "    [{:<11}] critical {:.4} ns via {}{tied}, target {:.4} ns, worst slack {:+.4} ns",
+                target.name(),
+                sta.critical_ns,
+                sta.critical_output,
+                sta.target_ns,
+                sta.worst_slack_ns
+            );
+            if sta.worst_slack_ns < -1e-9 {
+                failures += 1;
+                println!("      TIMING FAILED: required time missed");
+            }
+            print!("{}", indent(&sta.histogram.to_string(), "    "));
+            for path in &sta.paths {
+                print!("{}", indent(&path.to_string(), "      "));
+            }
+        }
+        println!();
+    }
+
+    if failures > 0 {
+        eprintln!("{failures} design(s) failed timing/depth checks");
+        std::process::exit(1);
+    }
+    println!("all designs meet their required times and depth bounds");
+}
+
+/// Prefixes every non-empty line of a multi-line display with `pad`.
+fn indent(text: &str, pad: &str) -> String {
+    text.lines()
+        .map(|l| {
+            if l.is_empty() {
+                String::from("\n")
+            } else {
+                format!("{pad}{l}\n")
+            }
+        })
+        .collect()
+}

@@ -12,22 +12,25 @@ use rgf2m_fpga::Target;
 
 use crate::batch::BatchRow;
 
-/// Schema tag stamped into every Table V JSON export. `/3` added the
-/// per-row `dup_gates` / `dead_nodes` hygiene counters (from the
-/// post-mapping lint pass); `/2` added the per-row `target` field.
-/// Older documents, which lack those fields, no longer validate.
-pub const TABLE5_SCHEMA: &str = "rgf2m-table5/3";
+/// Schema tag stamped into every Table V JSON export. `/4` added the
+/// per-row `and_depth` / `xor_depth` gate-depth pair (the source
+/// netlist's Table V delay claim) and the STA's `worst_slack_ns`;
+/// `/3` added the per-row `dup_gates` / `dead_nodes` hygiene counters
+/// (from the post-mapping lint pass); `/2` added the per-row `target`
+/// field. Older documents, which lack those fields, no longer validate.
+pub const TABLE5_SCHEMA: &str = "rgf2m-table5/4";
 
 /// Schema tag stamped into every `bench_map` mapper-performance
 /// artifact and checked by [`validate_bench_map_json`].
 pub const BENCH_MAP_SCHEMA: &str = "rgf2m-bench-map/1";
 
-/// Serializes batch rows as the `rgf2m-table5/3` JSON document.
+/// Serializes batch rows as the `rgf2m-table5/4` JSON document.
 ///
 /// Successful rows carry the measured quadruple plus the paper's
-/// `area_time` metric and the lint pass's hygiene counters; failed
-/// rows carry `"ok": false` and the error message. Every row names
-/// its target fabric. Byte-identical for identical inputs.
+/// `area_time` metric, the lint pass's hygiene counters, the source
+/// netlist's gate-depth pair and the STA's worst slack; failed rows
+/// carry `"ok": false` and the error message. Every row names its
+/// target fabric. Byte-identical for identical inputs.
 pub fn rows_to_json(rows: &[BatchRow], base_seed: u64) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -49,14 +52,18 @@ pub fn rows_to_json(rows: &[BatchRow], base_seed: u64) -> String {
             Ok(r) => s.push_str(&format!(
                 ", \"ok\": true, \"luts\": {}, \"slices\": {}, \"depth\": {}, \
                  \"time_ns\": {:.4}, \"area_time\": {:.4}, \
-                 \"dup_gates\": {}, \"dead_nodes\": {}",
+                 \"dup_gates\": {}, \"dead_nodes\": {}, \
+                 \"and_depth\": {}, \"xor_depth\": {}, \"worst_slack_ns\": {:.4}",
                 r.luts,
                 r.slices,
                 r.depth,
                 r.time_ns,
                 r.area_time(),
                 r.dup_gates,
-                r.dead_nodes
+                r.dead_nodes,
+                r.and_depth,
+                r.xor_depth,
+                r.worst_slack_ns
             )),
             Err(e) => s.push_str(&format!(
                 ", \"ok\": false, \"error\": {}",
@@ -77,12 +84,12 @@ pub fn rows_to_json(rows: &[BatchRow], base_seed: u64) -> String {
 /// the trailing column). Byte-identical for identical inputs.
 pub fn rows_to_csv(rows: &[BatchRow]) -> String {
     let mut s = String::from(
-        "m,n,method,citation,target,seed,ok,luts,slices,depth,time_ns,area_time,dup_gates,dead_nodes,error\n",
+        "m,n,method,citation,target,seed,ok,luts,slices,depth,time_ns,area_time,dup_gates,dead_nodes,and_depth,xor_depth,worst_slack_ns,error\n",
     );
     for row in rows {
         match &row.result {
             Ok(r) => s.push_str(&format!(
-                "{},{},{},{},{},{},true,{},{},{},{:.4},{:.4},{},{},\n",
+                "{},{},{},{},{},{},true,{},{},{},{:.4},{:.4},{},{},{},{},{:.4},\n",
                 row.job.m,
                 row.job.n,
                 row.job.method.name(),
@@ -95,10 +102,13 @@ pub fn rows_to_csv(rows: &[BatchRow]) -> String {
                 r.time_ns,
                 r.area_time(),
                 r.dup_gates,
-                r.dead_nodes
+                r.dead_nodes,
+                r.and_depth,
+                r.xor_depth,
+                r.worst_slack_ns
             )),
             Err(e) => s.push_str(&format!(
-                "{},{},{},{},{},{},false,,,,,,,,{}\n",
+                "{},{},{},{},{},{},false,,,,,,,,,,,{}\n",
                 row.job.m,
                 row.job.n,
                 row.job.method.name(),
@@ -379,13 +389,17 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
 // Schema validation for the table5 artifact.
 // ---------------------------------------------------------------------
 
-/// Validates a `rgf2m-table5/3` JSON document: schema tag, non-empty
+/// Validates a `rgf2m-table5/4` JSON document: schema tag, non-empty
 /// row set, whole six-method blocks in the paper's row order, every
 /// row naming a registered target fabric and `ok` with positive LUTs /
-/// slices / depth / time plus non-negative `dup_gates` / `dead_nodes`
-/// hygiene counters. Within each six-method block the target must be
-/// uniform (one block = one field on one fabric). Returns a short
-/// human-readable summary on success.
+/// slices / depth / time, non-negative `dup_gates` / `dead_nodes`
+/// hygiene counters, a positive `and_depth` / `xor_depth` gate-depth
+/// pair (a bit-parallel multiplier always has exactly one AND level and
+/// at least one XOR level), and a `worst_slack_ns` that is not
+/// meaningfully negative (the STA's default target is the critical
+/// delay itself, so slack must be ~0 up to float noise). Within each
+/// six-method block the target must be uniform (one block = one field
+/// on one fabric). Returns a short human-readable summary on success.
 pub fn validate_table5_json(text: &str) -> Result<String, String> {
     let doc = parse_json(text)?;
     let schema = doc
@@ -478,6 +492,28 @@ pub fn validate_table5_json(text: &str) -> Result<String, String> {
             if v < 0.0 {
                 return Err(format!("row {i}: {field} = {v} is negative"));
             }
+        }
+        // `/4`: the source netlist's gate-depth pair. A bit-parallel
+        // multiplier is one AND level of partial products feeding XOR
+        // trees, so both components must be positive.
+        for field in ["and_depth", "xor_depth"] {
+            let v = row
+                .get(field)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| ctx(&format!("missing numeric \"{field}\"")))?;
+            if v <= 0.0 {
+                return Err(format!("row {i}: {field} = {v} is not positive"));
+            }
+        }
+        // `/4`: worst slack at the STA's default target (the critical
+        // delay itself) — anything beyond float noise below zero means
+        // the arrival and required passes disagree.
+        let slack = row
+            .get("worst_slack_ns")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| ctx("missing numeric \"worst_slack_ns\""))?;
+        if slack < -1e-6 {
+            return Err(format!("row {i}: worst_slack_ns = {slack} is negative"));
         }
     }
     Ok(format!(
@@ -693,6 +729,7 @@ mod tests {
         // Previous schema revisions are rejected by tag.
         assert!(validate_table5_json(r#"{"schema": "rgf2m-table5/1", "rows": []}"#).is_err());
         assert!(validate_table5_json(r#"{"schema": "rgf2m-table5/2", "rows": []}"#).is_err());
+        assert!(validate_table5_json(r#"{"schema": "rgf2m-table5/3", "rows": []}"#).is_err());
         let empty = format!(r#"{{"schema": "{TABLE5_SCHEMA}", "rows": []}}"#);
         assert!(validate_table5_json(&empty).is_err());
         // `/3` requires the hygiene counters on every ok row.
@@ -701,6 +738,27 @@ mod tests {
         assert!(validate_table5_json(&no_hygiene)
             .unwrap_err()
             .contains("dup_gates"));
+        // `/4` requires the gate-depth pair and the worst slack.
+        let no_depth = block_doc(|_| "artix7").replace(", \"and_depth\": 1", "");
+        assert!(validate_table5_json(&no_depth)
+            .unwrap_err()
+            .contains("and_depth"));
+        let no_slack = block_doc(|_| "artix7").replace(", \"worst_slack_ns\": 0.0000", "");
+        assert!(validate_table5_json(&no_slack)
+            .unwrap_err()
+            .contains("worst_slack_ns"));
+        // A meaningfully negative slack means the STA is inconsistent.
+        let bad_slack = block_doc(|_| "artix7")
+            .replace("\"worst_slack_ns\": 0.0000", "\"worst_slack_ns\": -0.5");
+        assert!(validate_table5_json(&bad_slack)
+            .unwrap_err()
+            .contains("negative"));
+        // Float-noise-level negatives are tolerated.
+        let noise_slack = block_doc(|_| "artix7").replace(
+            "\"worst_slack_ns\": 0.0000",
+            "\"worst_slack_ns\": -0.0000001",
+        );
+        assert!(validate_table5_json(&noise_slack).is_ok());
     }
 
     /// A minimal valid six-row block with a per-row target override.
@@ -713,7 +771,8 @@ mod tests {
                     "    {{\"m\": 8, \"n\": 2, \"method\": {}, \"citation\": {}, \
                      \"target\": {}, \"seed\": 1, \"ok\": true, \"luts\": 33, \
                      \"slices\": 11, \"depth\": 3, \"time_ns\": 9.7, \"area_time\": 320.1, \
-                     \"dup_gates\": 0, \"dead_nodes\": 0}}",
+                     \"dup_gates\": 0, \"dead_nodes\": 0, \"and_depth\": 1, \
+                     \"xor_depth\": 5, \"worst_slack_ns\": 0.0000}}",
                     json_string(m.name()),
                     json_string(m.citation()),
                     json_string(target_of(i)),

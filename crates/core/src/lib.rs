@@ -60,6 +60,6 @@ pub use gen::{
 };
 pub use reveng::{anonymize, reverse_engineer, ModulusClass, RecoveredField, RevengError};
 pub use sit::SiTi;
-pub use spec::multiplier_spec;
+pub use spec::{delay_spec, multiplier_spec};
 pub use split::{AtomKind, SplitAtom};
 pub use terms::ProductTerm;

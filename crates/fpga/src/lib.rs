@@ -24,8 +24,11 @@
 //!    connectivity-driven);
 //! 4. [`place`] — deterministic simulated-annealing placement on a slice
 //!    grid;
-//! 5. [`timing`] — static timing with IOB, LUT, fanout and wire-length
-//!    dependent net delays (constants from the target device);
+//! 5. [`timing`] — full static timing analysis: forward arrival *and*
+//!    backward required-time passes over IOB, LUT, fanout and
+//!    wire-length dependent delays (constants from the target device),
+//!    yielding per-endpoint slack, a slack histogram and top-K critical
+//!    path traces in a typed [`timing::StaReport`];
 //! 6. [`pipeline`] — the end-to-end [`pipeline::Pipeline`]: fallible
 //!    (`Result<FlowArtifacts, FlowError>`), staged, memoized per input
 //!    design and **target-derived** ([`Pipeline::with_target`] is the
@@ -34,9 +37,11 @@
 //! 7. [`formal`] + [`lint`] — static analysis over both netlist levels:
 //!    complete algebraic verification against a multiplier spec
 //!    ([`Pipeline::verify_formal`] / [`Pipeline::verify_formal_mapped`],
-//!    no sampling, LUT cones expanded via [`lut::Truth::anf`]) and a
+//!    no sampling, LUT cones expanded via [`lut::Truth::anf`]), a
 //!    structural lint pass ([`lint::lint_mapped`]) that gates every
-//!    verify and feeds the `ImplReport` hygiene counters.
+//!    verify and feeds the `ImplReport` hygiene counters, and a static
+//!    depth certificate ([`Pipeline::verify_depth`]) that proves a
+//!    generated netlist meets its claimed Table V gate-depth formula.
 //!
 //! The historical `FpgaFlow` facade (panicking, uncached) is gone; see
 //! the repository README's "Upgrading" section for the one-line
@@ -84,8 +89,12 @@ pub mod timing;
 pub use device::Device;
 pub use formal::FormalDiff;
 pub use lint::lint_mapped;
-pub use lut::LutNetlist;
+pub use lut::{LutAnalysis, LutNetlist};
 pub use map::{MapMode, MapOptions};
 pub use pipeline::{FlowArtifacts, FlowError, ImplReport, Pipeline, DEFAULT_VERIFY_SEED};
 pub use place::{PlaceOptions, PlaceStats};
 pub use target::Target;
+pub use timing::{
+    analyze_sta, CriticalPath, PathElement, PathSegment, SlackHistogram, StaOptions, StaReport,
+    TimingReport,
+};

@@ -15,7 +15,7 @@ use std::collections::HashMap;
 
 use netlist::lint::{LintKind, LintReport};
 
-use crate::lut::{LutNetlist, Signal, Truth};
+use crate::lut::{LutAnalysis, LutNetlist, Signal, Truth};
 
 /// Lints a mapped LUT netlist.
 pub fn lint_mapped(mapped: &LutNetlist) -> LintReport {
@@ -132,25 +132,9 @@ pub fn lint_mapped(mapped: &LutNetlist) -> LintReport {
     }
 
     // Dead LUTs: drive neither a LUT input nor a primary output.
-    // Computed here rather than via `LutNetlist::lut_fanouts`, which
-    // (rightly) assumes the references this pass just checked.
-    let mut fanouts = vec![0usize; luts.len()];
-    for lut in luts {
-        for s in &lut.inputs {
-            if let Signal::Lut(j) = *s {
-                if (j as usize) < luts.len() {
-                    fanouts[j as usize] += 1;
-                }
-            }
-        }
-    }
-    for (_, s) in mapped.outputs() {
-        if let Signal::Lut(j) = *s {
-            if (j as usize) < luts.len() {
-                fanouts[j as usize] += 1;
-            }
-        }
-    }
+    // `LutAnalysis` skips the invalid references this pass just
+    // reported, so it is safe to share with timing analysis here.
+    let fanouts = LutAnalysis::of(mapped).lut_fanouts;
     for (i, f) in fanouts.iter().enumerate() {
         if *f == 0 {
             report.push(

@@ -342,20 +342,58 @@ impl LutNetlist {
     /// Fanout of every signal source: number of LUT inputs plus primary
     /// outputs each LUT (by id) drives. Indexed like `luts`.
     pub fn lut_fanouts(&self) -> Vec<usize> {
-        let mut f = vec![0usize; self.luts.len()];
-        for lut in &self.luts {
-            for s in &lut.inputs {
-                if let Signal::Lut(j) = s {
-                    f[*j as usize] += 1;
+        LutAnalysis::of(self).lut_fanouts
+    }
+}
+
+/// Shared fanout analysis over a [`LutNetlist`]: the LUT-level
+/// counterpart of `netlist::analysis::NetAnalysis`, computed in one
+/// pass and consumed by timing analysis and the mapped-netlist lint
+/// alike (instead of each recounting references its own way).
+///
+/// Out-of-range references are skipped rather than counted or panicked
+/// on, so the lint pass — whose job includes *finding* such references —
+/// can run this analysis before validity is established.
+#[derive(Debug, Clone)]
+pub struct LutAnalysis {
+    /// Per primary input: number of LUT input slots plus primary
+    /// outputs reading it.
+    pub input_fanouts: Vec<usize>,
+    /// Per LUT id: number of LUT input slots plus primary outputs
+    /// reading it.
+    pub lut_fanouts: Vec<usize>,
+}
+
+impl LutAnalysis {
+    /// Computes both fanout vectors in a single pass.
+    pub fn of(net: &LutNetlist) -> LutAnalysis {
+        let mut input_fanouts = vec![0usize; net.input_names.len()];
+        let mut lut_fanouts = vec![0usize; net.luts.len()];
+        let mut count = |s: &Signal| match *s {
+            Signal::Input(i) => {
+                if let Some(f) = input_fanouts.get_mut(i as usize) {
+                    *f += 1;
                 }
             }
-        }
-        for (_, s) in &self.outputs {
-            if let Signal::Lut(j) = s {
-                f[*j as usize] += 1;
+            Signal::Lut(j) => {
+                if let Some(f) = lut_fanouts.get_mut(j as usize) {
+                    *f += 1;
+                }
+            }
+            Signal::Const(_) => {}
+        };
+        for lut in &net.luts {
+            for s in &lut.inputs {
+                count(s);
             }
         }
-        f
+        for (_, s) in &net.outputs {
+            count(s);
+        }
+        LutAnalysis {
+            input_fanouts,
+            lut_fanouts,
+        }
     }
 }
 
@@ -447,6 +485,24 @@ mod tests {
         n.push_output("y0".into(), Signal::Lut(l0));
         n.push_output("y1".into(), Signal::Lut(l1));
         assert_eq!(n.lut_fanouts(), vec![2, 1]);
+        let analysis = LutAnalysis::of(&n);
+        assert_eq!(analysis.lut_fanouts, vec![2, 1]);
+        assert_eq!(analysis.input_fanouts, vec![1, 1]);
+    }
+
+    #[test]
+    fn analysis_skips_invalid_references() {
+        // Dangling references are the lint pass's findings, not the
+        // analysis's problem: they are skipped, not counted.
+        let mut n = LutNetlist::new("bad".into(), 6, vec!["a".into()]);
+        let l0 = n.push_lut(Lut {
+            inputs: vec![Signal::Input(0), Signal::Input(7), Signal::Lut(9)],
+            truth: Truth::of(0b0110_1001),
+        });
+        n.push_output("y".into(), Signal::Lut(l0));
+        let analysis = LutAnalysis::of(&n);
+        assert_eq!(analysis.input_fanouts, vec![1]);
+        assert_eq!(analysis.lut_fanouts, vec![1]);
     }
 
     #[test]

@@ -106,6 +106,16 @@ pub struct ImplReport {
     /// Mapped LUTs driving neither a LUT input nor a primary output,
     /// counted by the structural lint pass.
     pub dead_nodes: usize,
+    /// Worst slack across every LUT and output endpoint, in ns, at the
+    /// STA's default target (the critical delay itself) — `0.0` for a
+    /// consistent analysis, negative only under an explicit tighter
+    /// target.
+    pub worst_slack_ns: f64,
+    /// AND depth (`T_A` levels) of the *source* gate netlist — the
+    /// algebraic delay claim of Table V, before resynthesis/mapping.
+    pub and_depth: u32,
+    /// XOR depth (`T_X` levels) of the *source* gate netlist.
+    pub xor_depth: u32,
 }
 
 impl ImplReport {
@@ -119,13 +129,17 @@ impl fmt::Display for ImplReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}: {} LUTs, {} slices, depth {}, {:.2} ns, A×T {:.2}",
+            "{}: {} LUTs, {} slices, depth {}, {:.2} ns, A×T {:.2}, gate depth {}",
             self.name,
             self.luts,
             self.slices,
             self.depth,
             self.time_ns,
-            self.area_time()
+            self.area_time(),
+            netlist::Depth {
+                ands: self.and_depth,
+                xors: self.xor_depth
+            }
         )
     }
 }
@@ -194,6 +208,21 @@ pub enum FlowError {
         /// Netlist monomials the spec lacks.
         spurious: usize,
     },
+    /// The static depth certificate ([`Pipeline::verify_depth`]) found
+    /// an output cone whose gate-level (AND, XOR) depth exceeds the
+    /// bound claimed for it — e.g. the Table V delay formula from
+    /// `rgf2m_core::delay_spec`. Like [`FlowError::FormalMismatch`],
+    /// this is a static proof over the whole netlist, not a sample.
+    DepthExceeded {
+        /// The design name.
+        design: String,
+        /// The lowest-index output bit over its bound.
+        output_bit: usize,
+        /// The actual depth of that output's cone.
+        got: netlist::Depth,
+        /// The bound it was required to meet.
+        bound: netlist::Depth,
+    },
     /// The structural lint pass found hard errors (combinational
     /// cycles, undriven signals) — the netlist is not a valid
     /// combinational design, so no verification was attempted.
@@ -239,6 +268,16 @@ impl fmt::Display for FlowError {
                 f,
                 "formal verification of {design} failed at output bit {output_bit}: \
                  {missing} spec monomial(s) missing, {spurious} spurious"
+            ),
+            FlowError::DepthExceeded {
+                design,
+                output_bit,
+                got,
+                bound,
+            } => write!(
+                f,
+                "depth certificate of {design} failed at output bit {output_bit}: \
+                 depth {got} exceeds the claimed bound {bound}"
             ),
             FlowError::LintErrors {
                 design,
@@ -575,6 +614,33 @@ impl Pipeline {
         })
     }
 
+    /// Static depth certificate: requires every output cone of the
+    /// *gate-level* netlist to meet its claimed (AND, XOR) depth bound.
+    ///
+    /// The spec is typically `rgf2m_core::delay_spec`'s replay of the
+    /// paper's Table V delay formula for a method × field pair, making
+    /// this a machine-checked version of the paper's `T_A + nT_X`
+    /// claims: a pass proves *no* input→output path is deeper than the
+    /// formula, a failure is [`FlowError::DepthExceeded`] naming the
+    /// first offending output bit. The check is purely structural
+    /// (no device model involved) and runs before resynthesis — it
+    /// certifies the generator's algebraic structure.
+    pub fn verify_depth(&self, spec: &netlist::DepthSpec, net: &Netlist) -> Result<(), FlowError> {
+        self.validate()?;
+        if net.outputs().len() != spec.num_outputs() {
+            return Err(FlowError::VerificationMismatch {
+                design: net.name().to_string(),
+                rounds: 0,
+            });
+        }
+        netlist::check_depths(net, spec).map_err(|e| FlowError::DepthExceeded {
+            design: net.name().to_string(),
+            output_bit: e.output_bit,
+            got: e.got,
+            bound: e.bound,
+        })
+    }
+
     /// [`Pipeline::verify_formal`] for a mapped netlist: LUT cones are
     /// expanded through the algebraic normal form of their truth
     /// tables ([`crate::lut::Truth::anf`]), so the certificate covers
@@ -693,6 +759,15 @@ impl Pipeline {
         let packing = self.pack(&mapped)?;
         let placement = self.place(&mapped, &packing)?;
         let timing = self.time(&mapped, &packing, &placement);
+        // Gate-level depth of the *source* netlist: the algebraic
+        // delay claim, deliberately measured before resynthesis.
+        let gate_depth =
+            netlist::output_depths(net)
+                .into_iter()
+                .fold(netlist::Depth::default(), |w, d| netlist::Depth {
+                    ands: w.ands.max(d.ands),
+                    xors: w.xors.max(d.xors),
+                });
         let report = ImplReport {
             name: net.name().to_string(),
             luts: mapped.num_luts(),
@@ -701,6 +776,9 @@ impl Pipeline {
             time_ns: timing.critical_ns,
             dup_gates: lint.duplicate_gates(),
             dead_nodes: lint.dead_nodes(),
+            worst_slack_ns: timing.worst_slack_ns,
+            and_depth: gate_depth.ands,
+            xor_depth: gate_depth.xors,
         };
         let artifacts = Arc::new(FlowArtifacts {
             mapped,
@@ -1217,5 +1295,62 @@ mod tests {
         let text = e.to_string();
         assert!(text.contains("structural lint with 3 error(s)"), "{text}");
         assert!(text.contains("combinational-cycle"), "{text}");
+        let e = FlowError::DepthExceeded {
+            design: "d".into(),
+            output_bit: 4,
+            got: netlist::Depth { ands: 1, xors: 9 },
+            bound: netlist::Depth { ands: 1, xors: 5 },
+        };
+        let text = e.to_string();
+        assert!(text.contains("output bit 4"), "{text}");
+        assert!(text.contains("TA + 9TX"), "{text}");
+        assert!(text.contains("bound TA + 5TX"), "{text}");
+    }
+
+    #[test]
+    fn verify_depth_certifies_and_rejects() {
+        let net = xor_tree(8); // balanced over 8 leaves: depth 3TX
+        let p = Pipeline::new();
+        let exact = netlist::DepthSpec::new(vec![netlist::Depth { ands: 0, xors: 3 }]);
+        p.verify_depth(&exact, &net).unwrap();
+
+        let tight = netlist::DepthSpec::new(vec![netlist::Depth { ands: 0, xors: 2 }]);
+        match p.verify_depth(&tight, &net) {
+            Err(FlowError::DepthExceeded {
+                design,
+                output_bit,
+                got,
+                bound,
+            }) => {
+                assert_eq!(design, "xor8");
+                assert_eq!(output_bit, 0);
+                assert_eq!(got, netlist::Depth { ands: 0, xors: 3 });
+                assert_eq!(bound, netlist::Depth { ands: 0, xors: 2 });
+            }
+            other => panic!("expected DepthExceeded, got {other:?}"),
+        }
+
+        // Output-count mismatch stays a typed interface error, never a
+        // panic from the underlying checker.
+        let short = netlist::DepthSpec::new(vec![]);
+        assert!(matches!(
+            p.verify_depth(&short, &net),
+            Err(FlowError::VerificationMismatch { rounds: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn report_carries_slack_and_gate_depth() {
+        let net = xor_tree(16); // 4 balanced XOR levels, no ANDs
+        let report = Pipeline::new().run_report(&net).unwrap();
+        assert_eq!(report.and_depth, 0);
+        assert_eq!(report.xor_depth, 4);
+        // Default STA target is the critical delay itself.
+        assert!(
+            report.worst_slack_ns.abs() < 1e-9,
+            "{}",
+            report.worst_slack_ns
+        );
+        assert!(report.to_string().contains("gate depth 4TX"), "{report}");
     }
 }

@@ -1,0 +1,206 @@
+//! Property and acceptance tests for the STA subsystem and the static
+//! depth certificate: on every Method × Target pair the backward
+//! required-time pass must agree with the forward arrival pass (all
+//! slacks non-negative at the default target, critical endpoints at
+//! exactly zero), traced paths must decompose their endpoint's
+//! arrival, and the paper's largest field (163, 68) must meet the
+//! Table V depth formula of every method on every fabric — while a
+//! deliberately chained (unbalanced) build of the same function is
+//! refused with the offending output bit named.
+
+use gf2m::Field;
+use gf2poly::TypeIiPentanomial;
+use netlist::Netlist;
+use proptest::prelude::*;
+use rgf2m_core::{coefficient_support, delay_spec, generate, Method};
+use rgf2m_fpga::{analyze_sta, FlowError, Pipeline, StaOptions, Target};
+
+fn field_for(m: usize, n: usize) -> Field {
+    Field::from_pentanomial(&TypeIiPentanomial::new(m, n).unwrap())
+}
+
+fn arb_target() -> impl Strategy<Value = Target> {
+    (0usize..Target::ALL.len()).prop_map(|i| Target::ALL[i])
+}
+
+fn arb_method() -> impl Strategy<Value = Method> {
+    (0usize..Method::ALL.len()).prop_map(|i| Method::ALL[i])
+}
+
+/// Slack comparisons tolerate accumulated float noise, nothing more.
+const EPS: f64 = 1e-9;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// At the default target (the design's own critical delay) the
+    /// forward and backward passes must agree: every per-LUT and
+    /// per-endpoint slack is non-negative, the worst endpoint slack is
+    /// exactly zero, and the worst slack anywhere rounds to zero.
+    #[test]
+    fn slack_is_consistent_on_every_method_and_target(
+        target in arb_target(),
+        method in arb_method(),
+    ) {
+        let field = field_for(8, 2);
+        let net = generate(&field, method);
+        let artifacts = Pipeline::new()
+            .with_target(target)
+            .run(&net)
+            .expect("clean flow");
+        let sta = &artifacts.timing;
+
+        for (l, &s) in sta.slack_ns.iter().enumerate() {
+            prop_assert!(s >= -EPS, "{target}/{method:?}: LUT {l} slack {s}");
+        }
+        for (k, &s) in sta.output_slack_ns.iter().enumerate() {
+            prop_assert!(s >= -EPS, "{target}/{method:?}: output {k} slack {s}");
+        }
+        prop_assert!(sta.worst_slack_ns.abs() < EPS,
+            "{target}/{method:?}: worst slack {}", sta.worst_slack_ns);
+
+        // Arrival and required agree on the critical delay: the worst
+        // endpoint arrival IS the resolved target, so its slack is 0.
+        prop_assert_eq!(sta.target_ns, sta.critical_ns);
+        let worst_endpoint = sta
+            .output_slack_ns
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!(worst_endpoint.abs() < EPS,
+            "{target}/{method:?}: critical endpoint slack {worst_endpoint}");
+
+        // The report mirrors the STA verbatim.
+        prop_assert_eq!(artifacts.report.worst_slack_ns, sta.worst_slack_ns);
+        prop_assert_eq!(artifacts.report.time_ns, sta.critical_ns);
+    }
+
+    /// Path enumeration is exact: the worst trace terminates at the
+    /// critical output with slack ~0, every trace's segments sum to its
+    /// endpoint arrival, and the histogram covers every slack once.
+    #[test]
+    fn traced_paths_decompose_arrivals(
+        target in arb_target(),
+        method in arb_method(),
+    ) {
+        let field = field_for(8, 2);
+        let net = generate(&field, method);
+        let artifacts = Pipeline::new()
+            .with_target(target)
+            .run(&net)
+            .expect("clean flow");
+        let sta = &artifacts.timing;
+
+        prop_assert!(!sta.paths.is_empty());
+        let worst = &sta.paths[0];
+        prop_assert!((worst.arrival_ns - sta.critical_ns).abs() < EPS);
+        prop_assert!(worst.slack_ns.abs() < EPS);
+        prop_assert!(sta.critical_outputs.contains(&worst.output));
+        prop_assert_eq!(&sta.critical_outputs[0], &sta.critical_output);
+
+        for path in &sta.paths {
+            let sum: f64 = path.segments.iter().map(|s| s.delay_ns).sum();
+            prop_assert!((sum - path.arrival_ns).abs() < 1e-6,
+                "{target}/{method:?}: path to {} sums to {sum}, arrival {}",
+                path.output, path.arrival_ns);
+        }
+
+        prop_assert_eq!(
+            sta.histogram.total(),
+            artifacts.mapped.num_luts() + artifacts.mapped.outputs().len()
+        );
+    }
+
+    /// An explicit required time shifts every slack rigidly: tightening
+    /// the target by `d` lowers the worst slack by exactly `d`, so a
+    /// target below the critical delay must go negative.
+    #[test]
+    fn explicit_targets_shift_slack_rigidly(
+        target in arb_target(),
+        method in arb_method(),
+        tighten in 0.25f64..4.0,
+    ) {
+        let field = field_for(8, 2);
+        let net = generate(&field, method);
+        let pipeline = Pipeline::new().with_target(target);
+        let artifacts = pipeline.run(&net).expect("clean flow");
+        let tightened = analyze_sta(
+            &artifacts.mapped,
+            &artifacts.packing,
+            &artifacts.placement,
+            pipeline.device(),
+            &StaOptions {
+                target_ns: Some(artifacts.timing.critical_ns - tighten),
+                ..StaOptions::default()
+            },
+        );
+        prop_assert!((tightened.worst_slack_ns + tighten).abs() < 1e-6,
+            "{target}/{method:?}: worst slack {} after tightening by {tighten}",
+            tightened.worst_slack_ns);
+        prop_assert!(tightened.worst_slack_ns < 0.0);
+    }
+}
+
+/// The paper's largest field (163, 68): every method's generated
+/// netlist meets its own Table V depth formula, certified by
+/// [`Pipeline::verify_depth`] on every registered fabric. This is the
+/// machine-checked version of the paper's `T_A + nT_X` delay rows.
+#[test]
+fn gf2_163_meets_table_v_depth_formula_on_every_target() {
+    let field = field_for(163, 68);
+    for method in Method::ALL {
+        let net = generate(&field, method);
+        let spec = delay_spec(&field, method);
+        for target in Target::ALL {
+            let pipeline = Pipeline::new().with_target(target);
+            pipeline
+                .verify_depth(&spec, &net)
+                .unwrap_or_else(|e| panic!("{method:?} on {target:?}: {e}"));
+        }
+    }
+}
+
+/// A deliberately degraded build of the same multiplier — every output
+/// coefficient accumulated through a *chained* XOR instead of a
+/// balanced tree — must be refused by the depth certificate, naming
+/// the first output bit whose cone exceeds the formula.
+#[test]
+fn chained_xor_regression_is_caught_as_depth_exceeded() {
+    let field = field_for(8, 2);
+    let m = field.m();
+    let mut net = Netlist::new("chained");
+    let a: Vec<_> = (0..m).map(|i| net.input(format!("a{i}"))).collect();
+    let b: Vec<_> = (0..m).map(|i| net.input(format!("b{i}"))).collect();
+    let mut supports = Vec::new();
+    for k in 0..m {
+        let support = coefficient_support(&field, k);
+        let products: Vec<_> = support.iter().map(|&(i, j)| net.and(a[i], b[j])).collect();
+        let root = net.xor_chain(&products);
+        net.output(format!("c{k}"), root);
+        supports.push(support.len());
+    }
+
+    // Rashidi's formula is the balanced tree over exactly these
+    // products, so the chained build busts it at the first output
+    // whose chain is deeper than the balanced optimum.
+    let spec = delay_spec(&field, Method::Rashidi);
+    let expected_bit = supports
+        .iter()
+        .position(|&n| (n as u32).saturating_sub(1) > (usize::BITS - (n - 1).leading_zeros()))
+        .expect("GF(2^8) has a coefficient with \u{2265} 4 products");
+
+    match Pipeline::new().verify_depth(&spec, &net) {
+        Err(FlowError::DepthExceeded {
+            design,
+            output_bit,
+            got,
+            bound,
+        }) => {
+            assert_eq!(design, "chained");
+            assert_eq!(output_bit, expected_bit);
+            assert!(got.xors > bound.xors, "got {got}, bound {bound}");
+            assert_eq!(got.ands, bound.ands);
+        }
+        other => panic!("expected DepthExceeded, got {other:?}"),
+    }
+}

@@ -1,0 +1,244 @@
+//! Per-output static depth analysis and depth certificates.
+//!
+//! The paper's Table V "Time" column is a *static* claim: every
+//! multiplier's delay is `T_A + ⌈log2(...)⌉·T_X`, a property of netlist
+//! structure rather than of any simulation. This module turns that
+//! claim into a checkable artifact:
+//!
+//! * [`output_depths`] computes the (AND-depth, XOR-depth) of every
+//!   primary output cone — the per-coefficient version of
+//!   [`Netlist::depth`](crate::Netlist::depth);
+//! * [`DepthSpec`] holds the *expected* per-output depth bounds (built
+//!   per method × field by `rgf2m_core::delay_spec`);
+//! * [`check_depths`] demands the netlist meet the spec component-wise,
+//!   reporting the first offending output as a typed [`DepthExcess`].
+//!
+//! # Examples
+//!
+//! ```
+//! use netlist::depth::{check_depths, output_depths, DepthSpec};
+//! use netlist::{Depth, Netlist};
+//!
+//! let mut net = Netlist::new("pair");
+//! let a = net.input("a");
+//! let b = net.input("b");
+//! let c = net.input("c");
+//! let ab = net.and(a, b);
+//! let y = net.xor(ab, c);
+//! net.output("y", y);
+//!
+//! assert_eq!(output_depths(&net), vec![Depth { ands: 1, xors: 1 }]);
+//! let spec = DepthSpec::new(vec![Depth { ands: 1, xors: 1 }]);
+//! assert!(check_depths(&net, &spec).is_ok());
+//! let tight = DepthSpec::new(vec![Depth { ands: 1, xors: 0 }]);
+//! assert_eq!(check_depths(&net, &tight).unwrap_err().output_bit, 0);
+//! ```
+
+use std::fmt;
+
+use crate::analysis::{node_depths, Depth};
+use crate::Netlist;
+
+/// The per-output (AND-depth, XOR-depth) of every primary output cone,
+/// in output order.
+pub fn output_depths(net: &Netlist) -> Vec<Depth> {
+    let depths = node_depths(net);
+    net.outputs()
+        .iter()
+        .map(|(_, n)| depths[n.index()])
+        .collect()
+}
+
+/// The expected per-output depth bounds of a design — the static
+/// counterpart of the algebraic `MulSpec`.
+///
+/// A netlist *meets* the spec when every output cone's measured
+/// [`Depth`] is component-wise `≤` its bound (no deeper in ANDs *and*
+/// no deeper in XORs). For the multiplier generators the bounds are
+/// exact by construction, so meeting the spec is equality in practice;
+/// the check is still `≤` so recalibrated or resynthesized netlists
+/// that *improve* on the formula keep passing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DepthSpec {
+    bounds: Vec<Depth>,
+}
+
+impl DepthSpec {
+    /// A spec from per-output bounds (index = output bit).
+    pub fn new(bounds: Vec<Depth>) -> Self {
+        DepthSpec { bounds }
+    }
+
+    /// The per-output bounds, in output order.
+    pub fn bounds(&self) -> &[Depth] {
+        &self.bounds
+    }
+
+    /// The bound of output bit `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn bound(&self, k: usize) -> Depth {
+        self.bounds[k]
+    }
+
+    /// Number of outputs covered by the spec.
+    pub fn num_outputs(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// The component-wise maximum over all outputs — the whole-design
+    /// delay formula (e.g. `TA + 5TX` for \[7\] at GF(2^8)).
+    pub fn worst(&self) -> Depth {
+        self.bounds.iter().fold(Depth::default(), |acc, d| Depth {
+            ands: acc.ands.max(d.ands),
+            xors: acc.xors.max(d.xors),
+        })
+    }
+}
+
+impl fmt::Display for DepthSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} over {} output(s)", self.worst(), self.num_outputs())
+    }
+}
+
+/// One depth-certificate violation: output `output_bit` measured deeper
+/// than its spec bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DepthExcess {
+    /// The lowest-index output bit exceeding its bound.
+    pub output_bit: usize,
+    /// The measured depth of that output's cone.
+    pub got: Depth,
+    /// The spec's bound for that output.
+    pub bound: Depth,
+}
+
+impl fmt::Display for DepthExcess {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "output bit {} has depth {}, exceeding its bound {}",
+            self.output_bit, self.got, self.bound
+        )
+    }
+}
+
+/// Checks every output cone of `net` against `spec`, reporting the
+/// first (lowest output index) violation.
+///
+/// # Panics
+///
+/// Panics if the output counts disagree — callers wanting a typed error
+/// for interface mismatches (the `rgf2m_fpga` pipeline does) must check
+/// the interface first.
+pub fn check_depths(net: &Netlist, spec: &DepthSpec) -> Result<(), DepthExcess> {
+    assert_eq!(
+        net.outputs().len(),
+        spec.num_outputs(),
+        "depth spec covers {} output(s), netlist has {}",
+        spec.num_outputs(),
+        net.outputs().len()
+    );
+    for (k, (got, &bound)) in output_depths(net).iter().zip(spec.bounds()).enumerate() {
+        if got.ands > bound.ands || got.xors > bound.xors {
+            return Err(DepthExcess {
+                output_bit: k,
+                got: *got,
+                bound,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_vs_balanced(leaves: usize) -> (Netlist, Netlist) {
+        let mut chain = Netlist::new("chain");
+        let ins: Vec<_> = (0..leaves).map(|i| chain.input(format!("x{i}"))).collect();
+        let root = chain.xor_chain(&ins);
+        chain.output("y", root);
+        let mut bal = Netlist::new("bal");
+        let ins: Vec<_> = (0..leaves).map(|i| bal.input(format!("x{i}"))).collect();
+        let root = bal.xor_balanced(&ins);
+        bal.output("y", root);
+        (chain, bal)
+    }
+
+    #[test]
+    fn output_depths_match_whole_netlist_depth() {
+        let (chain, bal) = chain_vs_balanced(9);
+        assert_eq!(output_depths(&chain), vec![Depth { ands: 0, xors: 8 }]);
+        assert_eq!(output_depths(&bal), vec![Depth { ands: 0, xors: 4 }]);
+        assert_eq!(output_depths(&bal)[0], bal.depth());
+    }
+
+    #[test]
+    fn check_accepts_exact_and_looser_bounds() {
+        let (_, bal) = chain_vs_balanced(9);
+        let exact = DepthSpec::new(vec![Depth { ands: 0, xors: 4 }]);
+        check_depths(&bal, &exact).unwrap();
+        let loose = DepthSpec::new(vec![Depth { ands: 2, xors: 9 }]);
+        check_depths(&bal, &loose).unwrap();
+    }
+
+    #[test]
+    fn check_names_the_first_offending_output() {
+        let mut net = Netlist::new("two");
+        let a = net.input("a");
+        let b = net.input("b");
+        let c = net.input("c");
+        let ab = net.xor(a, b);
+        let abc = net.xor(ab, c);
+        net.output("c0", ab);
+        net.output("c1", abc);
+        let spec = DepthSpec::new(vec![Depth { ands: 0, xors: 1 }, Depth { ands: 0, xors: 1 }]);
+        let excess = check_depths(&net, &spec).unwrap_err();
+        assert_eq!(excess.output_bit, 1);
+        assert_eq!(excess.got, Depth { ands: 0, xors: 2 });
+        assert_eq!(excess.bound, Depth { ands: 0, xors: 1 });
+        let text = excess.to_string();
+        assert!(text.contains("output bit 1"), "{text}");
+        assert!(text.contains("2TX"), "{text}");
+    }
+
+    #[test]
+    fn and_depth_violations_are_caught_too() {
+        let mut net = Netlist::new("ands");
+        let a = net.input("a");
+        let b = net.input("b");
+        let c = net.input("c");
+        let ab = net.and(a, b);
+        let abc = net.and(ab, c);
+        net.output("y", abc);
+        let spec = DepthSpec::new(vec![Depth { ands: 1, xors: 5 }]);
+        let excess = check_depths(&net, &spec).unwrap_err();
+        assert_eq!(excess.got.ands, 2);
+    }
+
+    #[test]
+    fn spec_worst_and_display() {
+        let spec = DepthSpec::new(vec![
+            Depth { ands: 1, xors: 5 },
+            Depth { ands: 1, xors: 3 },
+            Depth { ands: 0, xors: 6 },
+        ]);
+        assert_eq!(spec.worst(), Depth { ands: 1, xors: 6 });
+        assert_eq!(spec.bound(1), Depth { ands: 1, xors: 3 });
+        assert_eq!(spec.num_outputs(), 3);
+        assert_eq!(spec.to_string(), "TA + 6TX over 3 output(s)");
+    }
+
+    #[test]
+    #[should_panic(expected = "depth spec covers")]
+    fn mismatched_output_count_panics() {
+        let (_, bal) = chain_vs_balanced(4);
+        let spec = DepthSpec::new(vec![Depth::default(); 2]);
+        let _ = check_depths(&bal, &spec);
+    }
+}

@@ -14,6 +14,8 @@
 //! * [`sim`] — 64-way bit-parallel simulation and equivalence checking;
 //! * [`analysis`] — gate counts, AND/XOR depth (the paper's `T_A + kT_X`
 //!   metric), fanout, levelization;
+//! * [`depth`] — per-output depth cones and [`depth::DepthSpec`]
+//!   certificates checking netlists against expected Table V formulas;
 //! * [`algebra`] — GF(2) polynomial extraction (algebraic normal form
 //!   per output cone), the engine behind complete multiplier
 //!   verification and reduction-polynomial reverse engineering;
@@ -43,6 +45,7 @@
 
 pub mod algebra;
 pub mod analysis;
+pub mod depth;
 pub mod export;
 pub mod lint;
 pub mod sim;
@@ -51,5 +54,6 @@ mod ir;
 
 pub use algebra::{MulSpec, Poly};
 pub use analysis::{Depth, Stats};
+pub use depth::{check_depths, output_depths, DepthExcess, DepthSpec};
 pub use ir::{Fnv1a, Gate, Netlist, NodeId};
 pub use lint::{lint_netlist, LintReport};

@@ -36,8 +36,8 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use crate::analysis::NetAnalysis;
-use crate::{Gate, Netlist};
+use crate::analysis::{node_depths, NetAnalysis};
+use crate::{Gate, Netlist, NodeId};
 
 /// How bad a finding is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -82,6 +82,9 @@ pub enum LintKind {
     /// A LUT truth table that is constant in one of its connected
     /// inputs (LUT-level lint only).
     IgnoredLutInput,
+    /// An XOR tree deeper than the balanced `⌈log2(fanin)⌉` optimum —
+    /// it burns delay the paper's Table V formulas say is unnecessary.
+    UnbalancedXorTree,
 }
 
 impl LintKind {
@@ -91,9 +94,10 @@ impl LintKind {
             LintKind::CombinationalCycle | LintKind::UndrivenInput | LintKind::UndrivenOutput => {
                 Severity::Error
             }
-            LintKind::DeadNode | LintKind::DuplicateGate | LintKind::IgnoredLutInput => {
-                Severity::Warning
-            }
+            LintKind::DeadNode
+            | LintKind::DuplicateGate
+            | LintKind::IgnoredLutInput
+            | LintKind::UnbalancedXorTree => Severity::Warning,
         }
     }
 
@@ -106,6 +110,7 @@ impl LintKind {
             LintKind::DeadNode => "dead-node",
             LintKind::DuplicateGate => "duplicate-gate",
             LintKind::IgnoredLutInput => "ignored-lut-input",
+            LintKind::UnbalancedXorTree => "unbalanced-xor-tree",
         }
     }
 }
@@ -366,7 +371,80 @@ pub fn lint_netlist(net: &Netlist) -> LintReport {
         }
     }
 
+    // Unbalanced XOR trees: for each maximal XOR cluster, the depth the
+    // root adds over its deepest leaf must not exceed the balanced
+    // ⌈log2(fanin)⌉ optimum Table V assumes. An interior node (an XOR
+    // read exactly once, by another XOR) belongs to its parent's
+    // cluster; every other XOR roots one.
+    let mut xor_reads = vec![0usize; net.len()];
+    for id in net.node_ids() {
+        if let Gate::Xor(a, b) = net.gate(id) {
+            if a < id {
+                xor_reads[a.index()] += 1;
+            }
+            if b < id {
+                xor_reads[b.index()] += 1;
+            }
+        }
+    }
+    let interior = |n: NodeId| {
+        matches!(net.gate(n), Gate::Xor(..))
+            && analysis.fanouts[n.index()] == 1
+            && xor_reads[n.index()] == 1
+    };
+    let depths = node_depths(net);
+    for id in net.node_ids() {
+        if !matches!(net.gate(id), Gate::Xor(..)) || interior(id) {
+            continue;
+        }
+        // Collect the cluster's leaf references (with multiplicity —
+        // a leaf feeding two tree nodes counts as two fanin slots).
+        let mut leaves: Vec<NodeId> = Vec::new();
+        let mut stack = vec![id];
+        while let Some(n) = stack.pop() {
+            if let Gate::Xor(a, b) = net.gate(n) {
+                for op in [a, b] {
+                    if op < n && interior(op) {
+                        stack.push(op);
+                    } else {
+                        leaves.push(op);
+                    }
+                }
+            }
+        }
+        let max_leaf_xors = leaves
+            .iter()
+            .map(|n| depths[n.index()].xors)
+            .max()
+            .unwrap_or(0);
+        let added = depths[id.index()].xors.saturating_sub(max_leaf_xors);
+        let optimum = ceil_log2(leaves.len());
+        if added > optimum {
+            report.push(
+                LintKind::UnbalancedXorTree,
+                id.index(),
+                format!(
+                    "XOR tree rooted at node {} adds {} level(s) over {} leaves; \
+                     a balanced tree needs {}",
+                    id.index(),
+                    added,
+                    leaves.len(),
+                    optimum
+                ),
+            );
+        }
+    }
+
     report
+}
+
+/// `⌈log2(n)⌉` with `ceil_log2(0) = ceil_log2(1) = 0`.
+fn ceil_log2(n: usize) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        usize::BITS - (n - 1).leading_zeros()
+    }
 }
 
 #[cfg(test)]
@@ -445,8 +523,60 @@ mod tests {
         assert_eq!(LintKind::DeadNode.severity(), Severity::Warning);
         assert_eq!(LintKind::DuplicateGate.severity(), Severity::Warning);
         assert_eq!(LintKind::IgnoredLutInput.severity(), Severity::Warning);
+        assert_eq!(LintKind::UnbalancedXorTree.severity(), Severity::Warning);
         assert_eq!(LintKind::IgnoredLutInput.name(), "ignored-lut-input");
+        assert_eq!(LintKind::UnbalancedXorTree.name(), "unbalanced-xor-tree");
         assert_eq!(Severity::Error.to_string(), "error");
+    }
+
+    #[test]
+    fn xor_chain_is_flagged_as_unbalanced() {
+        let mut net = Netlist::new("chain");
+        let xs: Vec<_> = (0..5).map(|i| net.input(format!("x{i}"))).collect();
+        let root = net.xor_chain(&xs);
+        net.output("y", root);
+        let report = lint_netlist(&net);
+        assert!(!report.has_errors());
+        assert_eq!(report.count(LintKind::UnbalancedXorTree), 1);
+        let f = &report.findings()[0];
+        assert_eq!(f.node, root.index());
+        assert!(f.message.contains("adds 4 level(s) over 5 leaves"), "{f}");
+        assert!(f.message.contains("needs 3"), "{f}");
+    }
+
+    #[test]
+    fn balanced_and_depth_aware_trees_are_clean() {
+        let mut net = Netlist::new("bal");
+        let xs: Vec<_> = (0..13).map(|i| net.input(format!("x{i}"))).collect();
+        let root = net.xor_balanced(&xs);
+        net.output("y", root);
+        assert!(lint_netlist(&net).is_clean());
+
+        // Huffman pairing over unequal depths never exceeds the
+        // balanced bound either (it is the optimum).
+        let mut net = Netlist::new("huff");
+        let deep_leaves: Vec<_> = (0..8).map(|i| net.input(format!("d{i}"))).collect();
+        let deep = net.xor_balanced(&deep_leaves);
+        let shallow: Vec<_> = (0..3).map(|i| net.input(format!("s{i}"))).collect();
+        let nodes: Vec<_> = std::iter::once(deep).chain(shallow).collect();
+        let root = net.xor_depth_aware(&nodes);
+        net.output("y", root);
+        assert!(lint_netlist(&net).is_clean());
+    }
+
+    #[test]
+    fn shared_subtrees_split_clusters_without_false_positives() {
+        // A 4-leaf balanced tree whose left pair also drives an output:
+        // the pair has fanout 2, so it is a leaf of the root's cluster
+        // and a root of its own — both within the balanced optimum.
+        let mut net = Netlist::new("shared");
+        let xs: Vec<_> = (0..4).map(|i| net.input(format!("x{i}"))).collect();
+        let left = net.xor(xs[0], xs[1]);
+        let right = net.xor(xs[2], xs[3]);
+        let root = net.xor(left, right);
+        net.output("pair", left);
+        net.output("y", root);
+        assert!(lint_netlist(&net).is_clean());
     }
 
     #[test]

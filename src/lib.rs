@@ -109,15 +109,18 @@ pub use rgf2m_fpga as fpga;
 pub mod prelude {
     pub use gf2m::{Field, FieldError, MastrovitoMatrix, ReductionMatrix};
     pub use gf2poly::{is_irreducible, Gf2Poly, PentanomialError, TypeIiPentanomial};
-    pub use netlist::{lint_netlist, Gate, LintReport, MulSpec, Netlist, NodeId, Poly};
+    pub use netlist::{
+        check_depths, lint_netlist, output_depths, Depth, DepthSpec, Gate, LintReport, MulSpec,
+        Netlist, NodeId, Poly,
+    };
     pub use rgf2m_baselines::School;
     pub use rgf2m_core::{
-        anonymize, generate, multiplier_spec, reverse_engineer, AtomKind, CoefficientTable,
-        FlatCoefficientTable, MastrovitoPaar, Method, MultiplierGenerator, ProductTerm, Rashidi,
-        RecoveredField, ReyhaniHasan, SiTi, SplitAtom,
+        anonymize, delay_spec, generate, multiplier_spec, reverse_engineer, AtomKind,
+        CoefficientTable, FlatCoefficientTable, MastrovitoPaar, Method, MultiplierGenerator,
+        ProductTerm, Rashidi, RecoveredField, ReyhaniHasan, SiTi, SplitAtom,
     };
     pub use rgf2m_fpga::{
         lint_mapped, Device, FlowArtifacts, FlowError, ImplReport, MapMode, MapOptions, Pipeline,
-        PlaceOptions, Target, DEFAULT_VERIFY_SEED,
+        PlaceOptions, StaOptions, StaReport, Target, DEFAULT_VERIFY_SEED,
     };
 }
