@@ -106,6 +106,20 @@ pub fn cross_target_jobs(fields: &[(usize, usize)]) -> Vec<Job> {
         .collect()
 }
 
+/// The deterministic placement seed of job `index` under `base_seed`
+/// (a splitmix64-style finalizer — decorrelated across indices,
+/// independent of thread count or scheduling). This is the seed
+/// discipline shared by every execution path: [`BatchRunner::job_seed`]
+/// delegates here, and the daemon path ([`crate::daemon`]) derives the
+/// same seeds client-side so served rows are byte-identical to local
+/// ones.
+pub fn job_seed_from(base_seed: u64, index: usize) -> u64 {
+    let mut z = base_seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Fans jobs over `std::thread::scope` workers, one [`Pipeline`] run
 /// per job, with deterministic per-job placement seeds.
 #[derive(Debug, Clone)]
@@ -153,14 +167,10 @@ impl BatchRunner {
         self
     }
 
-    /// The deterministic placement seed of job `index` (splitmix64-style
-    /// finalizer over the base seed and the index — decorrelated, and
-    /// independent of thread count or scheduling).
+    /// The deterministic placement seed of job `index` (see
+    /// [`job_seed_from`], which this delegates to).
     pub fn job_seed(&self, index: usize) -> u64 {
-        let mut z = self.base_seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
+        job_seed_from(self.base_seed, index)
     }
 
     /// The base seed in use.

@@ -12,22 +12,29 @@
 //!   table5 --threads N     # batch worker threads (0 = all CPUs)
 //!   table5 --json PATH     # write the machine-readable report (JSON)
 //!   table5 --csv PATH      # write the machine-readable report (CSV)
+//!   table5 --daemon EP     # run jobs via rgf2m-served at EP
+//!                          # (unix:PATH or HOST:PORT) instead of
+//!                          # in-process pipelines
 //!
 //! The run fans (field × method × target) jobs over the parallel
 //! `BatchRunner` with deterministic per-job seeds: the printed numbers
 //! — and the exported JSON bytes — are identical run over run for a
-//! fixed base seed, whatever `--threads` says. For every field the
+//! fixed base seed, whatever `--threads` says. `--daemon` preserves
+//! that byte-for-byte (same per-job seeds, same pipeline defaults)
+//! while letting the daemon's memory and artifact store absorb repeat
+//! work. For every field the
 //! measured block is printed next to the paper's published numbers
 //! (artix7 only — the paper measured on that fabric), followed by shape
 //! checks (who wins A×T, proposed vs \[7\]).
 
 use rgf2m_bench::paper_data::PAPER_TABLE_V;
 use rgf2m_bench::{
-    arg_value, format_field_block, rows_to_csv, rows_to_json, table_v_jobs_on, BatchRow,
-    BatchRunner, MeasuredRow,
+    arg_value, format_field_block, rows_to_csv, rows_to_json, run_rows_via_daemon, table_v_jobs_on,
+    BatchRow, BatchRunner, MeasuredRow,
 };
 use rgf2m_core::Method;
 use rgf2m_fpga::Target;
+use rgf2m_serve::net::Endpoint;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -76,7 +83,14 @@ fn main() {
         fields.len(),
         targets.len()
     );
-    let rows = runner.run_rows(&jobs);
+    let rows = match arg_value(&args, "--daemon") {
+        None => runner.run_rows(&jobs),
+        Some(ep) => {
+            let endpoint = Endpoint::parse(&ep).unwrap_or_else(|e| panic!("--daemon: {e}"));
+            run_rows_via_daemon(&endpoint, &jobs, runner.base_seed())
+                .unwrap_or_else(|e| panic!("daemon run via {endpoint} failed: {e}"))
+        }
+    };
 
     println!("TABLE V — COMPARISON OF GF(2^m) MULTIPLIERS");
     println!("(measured by the rgf2m-fpga flow; paper values from ISE 14.7 / Artix-7)");

@@ -5,13 +5,15 @@
 //! ([`rgf2m_core::Method::ALL`], paper row order) and the fabric set
 //! from the target registry ([`rgf2m_fpga::Target::ALL`]); this crate
 //! adds the paper's published numbers ([`paper_data`]), the per-field
-//! flow drivers, the parallel [`BatchRunner`] ([`batch`]) and the
-//! structured JSON/CSV report writers ([`report`]).
+//! flow drivers, the parallel [`BatchRunner`] ([`batch`]), the
+//! structured JSON/CSV report writers ([`report`]) and daemon-backed
+//! execution against a running `rgf2m-served` ([`daemon`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod daemon;
 pub mod paper_data;
 pub mod report;
 
@@ -22,7 +24,10 @@ use rgf2m_core::gen::MultiplierGenerator;
 use rgf2m_core::Method;
 use rgf2m_fpga::{ImplReport, Pipeline, PlaceOptions};
 
-pub use batch::{cross_target_jobs, table_v_jobs, table_v_jobs_on, BatchRow, BatchRunner, Job};
+pub use batch::{
+    cross_target_jobs, job_seed_from, table_v_jobs, table_v_jobs_on, BatchRow, BatchRunner, Job,
+};
+pub use daemon::run_rows_via_daemon;
 pub use report::{
     rows_to_csv, rows_to_json, validate_bench_map_json, validate_table5_json, BENCH_MAP_SCHEMA,
     TABLE5_SCHEMA,

@@ -91,7 +91,10 @@ pub use formal::FormalDiff;
 pub use lint::lint_mapped;
 pub use lut::{LutAnalysis, LutNetlist};
 pub use map::{MapMode, MapOptions};
-pub use pipeline::{FlowArtifacts, FlowError, ImplReport, Pipeline, DEFAULT_VERIFY_SEED};
+pub use pipeline::{
+    ArtifactHook, CacheStats, FlowArtifacts, FlowError, ImplReport, Pipeline, ReportSource,
+    DEFAULT_VERIFY_SEED,
+};
 pub use place::{PlaceOptions, PlaceStats};
 pub use target::Target;
 pub use timing::{

@@ -234,6 +234,15 @@ pub enum FlowError {
         /// The first error finding, preformatted.
         first: String,
     },
+    /// An error relayed verbatim from a remote synthesis daemon (the
+    /// `rgf2m_serve` protocol carries failures as preformatted
+    /// strings). The message displays exactly as received, so
+    /// client-driven batch exports stay byte-identical to in-process
+    /// runs that produced the same underlying error.
+    Remote {
+        /// The daemon's preformatted error message.
+        message: String,
+    },
 }
 
 impl fmt::Display for FlowError {
@@ -287,8 +296,72 @@ impl fmt::Display for FlowError {
                 f,
                 "{design} failed structural lint with {errors} error(s); first: {first}"
             ),
+            FlowError::Remote { message } => f.write_str(message),
         }
     }
+}
+
+/// Pluggable persistence for pipeline results — the hook a disk-backed
+/// artifact store (e.g. `rgf2m_serve::ArtifactStore`) implements so one
+/// [`Pipeline`] can serve repeat traffic across processes and restarts.
+///
+/// [`Pipeline::run_report_sourced`] consults the hook on a memory-cache
+/// miss and feeds it on every memory fill. Implementations must be
+/// **key-faithful**: [`ArtifactHook::load`] may only return a report
+/// previously stored for exactly that `(content_hash, fingerprint)`
+/// pair and design name — anything it cannot vouch for (missing,
+/// truncated, wrong schema, mismatched key) must be a `None` miss so
+/// the pipeline recomputes. A hook must never panic: persistence
+/// failures degrade to recomputation, not errors.
+pub trait ArtifactHook: Send + Sync + fmt::Debug {
+    /// Looks up the report persisted for this exact cache key, or
+    /// `None` (a miss — the pipeline recomputes).
+    fn load(&self, design: &str, content_hash: u64, fingerprint: u64) -> Option<ImplReport>;
+
+    /// Persists a freshly computed artifact set under its cache key.
+    /// Failures must be swallowed (counted, logged — not raised).
+    fn store(&self, content_hash: u64, fingerprint: u64, artifacts: &FlowArtifacts);
+}
+
+/// Where a [`Pipeline::run_report_sourced`] result came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportSource {
+    /// Served from the in-process memoization cache.
+    Memory,
+    /// Served by the configured [`ArtifactHook`] (e.g. a disk store).
+    Store,
+    /// Computed by running the full pipeline.
+    Computed,
+}
+
+impl ReportSource {
+    /// The stable lower-case tag used in serving protocols and logs.
+    pub fn tag(self) -> &'static str {
+        match self {
+            ReportSource::Memory => "memory",
+            ReportSource::Store => "store",
+            ReportSource::Computed => "computed",
+        }
+    }
+}
+
+/// A snapshot of one [`Pipeline`]'s cache observability counters
+/// ([`Pipeline::cache_stats`]). All counters start at zero per pipeline
+/// instance (clones restart them) and only ever grow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Runs served from the in-process memoization cache.
+    pub hits: usize,
+    /// Reports served by the [`ArtifactHook`] on a memory miss.
+    pub store_hits: usize,
+    /// Runs that had to execute the full pipeline (memory and hook both
+    /// missed, or the caller required full artifacts).
+    pub misses: usize,
+    /// Successful pipeline runs inserted into the memory cache (a miss
+    /// that errors is counted in [`CacheStats::misses`] only).
+    pub inserts: usize,
+    /// Designs currently memoized in the memory cache.
+    pub entries: usize,
 }
 
 impl std::error::Error for FlowError {}
@@ -311,6 +384,12 @@ pub struct Pipeline {
     max_slices: Option<usize>,
     cache: Mutex<HashMap<CacheKey, Arc<FlowArtifacts>>>,
     hits: AtomicUsize,
+    store_hits: AtomicUsize,
+    misses: AtomicUsize,
+    inserts: AtomicUsize,
+    /// Persistent second-level store consulted on memory misses; not
+    /// part of the options fingerprint (it never changes results).
+    hook: Option<Arc<dyn ArtifactHook>>,
     /// Mapper scratch (arena cut store, candidate list, cone memo)
     /// shared across runs: one pipeline mapping many designs reuses the
     /// same flat buffers instead of reallocating per design. Guarded so
@@ -350,6 +429,10 @@ impl Pipeline {
             max_slices: None,
             cache: Mutex::new(HashMap::new()),
             hits: AtomicUsize::new(0),
+            store_hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+            inserts: AtomicUsize::new(0),
+            hook: None,
             map_scratch: Mutex::new(MapScratch::new()),
         }
     }
@@ -436,6 +519,23 @@ impl Pipeline {
     pub fn with_max_slices(mut self, max: Option<usize>) -> Self {
         self.max_slices = max;
         self
+    }
+
+    /// Attaches a persistent artifact store ([`ArtifactHook`]): on a
+    /// memory-cache miss, [`Pipeline::run_report_sourced`] (and
+    /// therefore [`Pipeline::run_report`]) asks the hook before
+    /// computing, and every fresh computation is persisted through it.
+    /// The hook is shared by [`Clone`] / [`Pipeline::clone_config`] and
+    /// is deliberately *not* part of the options fingerprint — it
+    /// changes where results come from, never what they are.
+    pub fn with_artifact_hook(mut self, hook: Arc<dyn ArtifactHook>) -> Self {
+        self.hook = Some(hook);
+        self
+    }
+
+    /// The attached persistent store, if any.
+    pub fn artifact_hook(&self) -> Option<&Arc<dyn ArtifactHook>> {
+        self.hook.as_ref()
     }
 
     /// The target fabric in use.
@@ -716,28 +816,81 @@ impl Pipeline {
     }
 
     /// Runs the whole pipeline and returns just the Table V-style
-    /// summary (on a cache hit this copies only the 5-field report, not
-    /// the full artifact set).
+    /// summary (on a cache hit this copies only the report, not the
+    /// full artifact set). With an [`ArtifactHook`] attached, a memory
+    /// miss consults the persistent store before computing — see
+    /// [`Pipeline::run_report_sourced`] to learn which tier served.
     pub fn run_report(&self, net: &Netlist) -> Result<ImplReport, FlowError> {
-        self.run_cached(net).map(|a| a.report.clone())
+        self.run_report_sourced(net).map(|(report, _)| report)
+    }
+
+    /// [`Pipeline::run_report`] plus the provenance of the result: the
+    /// memory cache, the attached [`ArtifactHook`] store, or a fresh
+    /// computation. The serving daemon uses this to label responses and
+    /// meter traffic.
+    ///
+    /// Tier order on each call: memory cache → artifact hook → full
+    /// pipeline run (which then fills the memory cache *and* the hook).
+    /// A hook hit cannot fill the memory cache — the store persists
+    /// reports, not full artifact sets — so repeat hook hits stay hook
+    /// hits until something computes the design in-process.
+    pub fn run_report_sourced(
+        &self,
+        net: &Netlist,
+    ) -> Result<(ImplReport, ReportSource), FlowError> {
+        self.validate()?;
+        let key = self.cache_key(net);
+        if let Some(hit) = self.probe_memory(&key, net.name()) {
+            return Ok((hit.report.clone(), ReportSource::Memory));
+        }
+        if let Some(hook) = &self.hook {
+            if let Some(report) = hook.load(net.name(), key.0, key.1) {
+                self.store_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok((report, ReportSource::Store));
+            }
+        }
+        self.compute_and_fill(net, key)
+            .map(|a| (a.report.clone(), ReportSource::Computed))
     }
 
     /// The memoized core of [`Pipeline::run`]: returns a shared handle
     /// to the cached artifacts, computing them on a miss. Clones taken
-    /// from the handle happen outside the cache lock.
+    /// from the handle happen outside the cache lock. The [`ArtifactHook`]
+    /// is *not* consulted here — a persisted report cannot stand in for
+    /// the full artifact set — but a fresh computation still feeds it.
     fn run_cached(&self, net: &Netlist) -> Result<Arc<FlowArtifacts>, FlowError> {
         self.validate()?;
         let key = self.cache_key(net);
-        if let Some(hit) = self
+        if let Some(hit) = self.probe_memory(&key, net.name()) {
+            return Ok(hit);
+        }
+        self.compute_and_fill(net, key)
+    }
+
+    /// Memory-cache probe; counts a hit. A design-name mismatch on an
+    /// equal key is a hash collision and treated as a miss.
+    fn probe_memory(&self, key: &CacheKey, name: &str) -> Option<Arc<FlowArtifacts>> {
+        let hit = self
             .cache
             .lock()
             .expect("pipeline cache poisoned")
-            .get(&key)
-            .filter(|hit| hit.report.name == net.name())
-        {
+            .get(key)
+            .filter(|hit| hit.report.name == name)
+            .map(Arc::clone);
+        if hit.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(hit));
         }
+        hit
+    }
+
+    /// The full pipeline run on a cache miss: computes every stage,
+    /// fills the memory cache, and persists through the hook.
+    fn compute_and_fill(
+        &self,
+        net: &Netlist,
+        key: CacheKey,
+    ) -> Result<Arc<FlowArtifacts>, FlowError> {
+        self.misses.fetch_add(1, Ordering::Relaxed);
         let synth = self.resynth(net)?;
         // One structural analysis of the synthesized netlist serves the
         // whole run (mapping consumes fanouts and levels); the mapper
@@ -787,10 +940,14 @@ impl Pipeline {
             timing,
             report,
         });
+        self.inserts.fetch_add(1, Ordering::Relaxed);
         self.cache
             .lock()
             .expect("pipeline cache poisoned")
             .insert(key, Arc::clone(&artifacts));
+        if let Some(hook) = &self.hook {
+            hook.store(key.0, key.1, &artifacts);
+        }
         Ok(artifacts)
     }
 
@@ -802,6 +959,21 @@ impl Pipeline {
     /// Number of [`Pipeline::run`] calls served from the cache.
     pub fn cache_hits(&self) -> usize {
         self.hits.load(Ordering::Relaxed)
+    }
+
+    /// A snapshot of every cache observability counter: memory hits,
+    /// [`ArtifactHook`] store hits, full computations, memory fills and
+    /// the current entry count ([`CacheStats`]). The serving daemon's
+    /// `stats` endpoint aggregates these across its pipelines; tests
+    /// use them to prove warm replays recompute nothing.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            store_hits: self.store_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            entries: self.cache_len(),
+        }
     }
 
     /// Drops every memoized artifact (the hit counter is kept).
@@ -825,6 +997,10 @@ impl Pipeline {
             max_slices: self.max_slices,
             cache: Mutex::new(HashMap::new()),
             hits: AtomicUsize::new(0),
+            store_hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+            inserts: AtomicUsize::new(0),
+            hook: self.hook.clone(),
             map_scratch: Mutex::new(MapScratch::new()),
         }
     }
@@ -898,6 +1074,10 @@ impl Clone for Pipeline {
             max_slices: self.max_slices,
             cache: Mutex::new(self.cache.lock().expect("pipeline cache poisoned").clone()),
             hits: AtomicUsize::new(0),
+            store_hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+            inserts: AtomicUsize::new(0),
+            hook: self.hook.clone(),
             map_scratch: Mutex::new(MapScratch::new()),
         }
     }
@@ -1337,6 +1517,124 @@ mod tests {
             p.verify_depth(&short, &net),
             Err(FlowError::VerificationMismatch { rounds: 0, .. })
         ));
+    }
+
+    /// An in-memory [`ArtifactHook`] for tests: a HashMap-backed store
+    /// with call counters.
+    #[derive(Debug, Default)]
+    struct MemHook {
+        saved: Mutex<HashMap<(u64, u64), ImplReport>>,
+        loads: AtomicUsize,
+        stores: AtomicUsize,
+    }
+
+    impl ArtifactHook for MemHook {
+        fn load(&self, design: &str, content_hash: u64, fingerprint: u64) -> Option<ImplReport> {
+            self.loads.fetch_add(1, Ordering::Relaxed);
+            self.saved
+                .lock()
+                .unwrap()
+                .get(&(content_hash, fingerprint))
+                .filter(|r| r.name == design)
+                .cloned()
+        }
+
+        fn store(&self, content_hash: u64, fingerprint: u64, artifacts: &FlowArtifacts) {
+            self.stores.fetch_add(1, Ordering::Relaxed);
+            self.saved
+                .lock()
+                .unwrap()
+                .insert((content_hash, fingerprint), artifacts.report.clone());
+        }
+    }
+
+    #[test]
+    fn cache_stats_track_hits_misses_and_inserts() {
+        let net = xor_tree(32);
+        let p = Pipeline::new();
+        assert_eq!(p.cache_stats(), CacheStats::default());
+        p.run_report(&net).unwrap();
+        assert_eq!(
+            p.cache_stats(),
+            CacheStats {
+                hits: 0,
+                store_hits: 0,
+                misses: 1,
+                inserts: 1,
+                entries: 1
+            }
+        );
+        p.run_report(&net).unwrap();
+        let stats = p.cache_stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        // A failing run is a miss without an insert.
+        let p = Pipeline::new().with_max_slices(Some(1));
+        assert!(p.run_report(&xor_tree(128)).is_err());
+        let stats = p.cache_stats();
+        assert_eq!((stats.misses, stats.inserts, stats.entries), (1, 0, 0));
+    }
+
+    #[test]
+    fn artifact_hook_serves_memory_misses_and_receives_fills() {
+        let net = xor_tree(32);
+        let hook = Arc::new(MemHook::default());
+        let cold = Pipeline::new().with_artifact_hook(hook.clone());
+        let report = cold.run_report(&net).unwrap();
+        assert_eq!(hook.stores.load(Ordering::Relaxed), 1);
+        // A repeat on the same pipeline is a *memory* hit — the hook is
+        // not even asked.
+        let loads_before = hook.loads.load(Ordering::Relaxed);
+        let (again, source) = cold.run_report_sourced(&net).unwrap();
+        assert_eq!(source, ReportSource::Memory);
+        assert_eq!(again, report);
+        assert_eq!(hook.loads.load(Ordering::Relaxed), loads_before);
+        // A fresh pipeline (empty memory) with the same hook is served
+        // from the store, with zero recomputation.
+        let warm = Pipeline::new().with_artifact_hook(hook.clone());
+        let (served, source) = warm.run_report_sourced(&net).unwrap();
+        assert_eq!(source, ReportSource::Store);
+        assert_eq!(served, report);
+        let stats = warm.cache_stats();
+        assert_eq!((stats.store_hits, stats.misses), (1, 0));
+        // Different options fingerprint → different key → the hook
+        // misses and the pipeline recomputes.
+        let other = Pipeline::new()
+            .with_place_seed(777)
+            .with_artifact_hook(hook.clone());
+        let (_, source) = other.run_report_sourced(&net).unwrap();
+        assert_eq!(source, ReportSource::Computed);
+        // The hook survives clone_config and Clone.
+        assert!(warm.clone_config().artifact_hook().is_some());
+        assert!(warm.clone().artifact_hook().is_some());
+    }
+
+    #[test]
+    fn full_artifact_runs_bypass_hook_loads_but_still_persist() {
+        let net = xor_tree(24);
+        let hook = Arc::new(MemHook::default());
+        let p = Pipeline::new().with_artifact_hook(hook.clone());
+        p.run(&net).unwrap();
+        // `run` needs full artifacts, which the hook cannot supply: no
+        // load is attempted, but the fill is persisted.
+        assert_eq!(hook.loads.load(Ordering::Relaxed), 0);
+        assert_eq!(hook.stores.load(Ordering::Relaxed), 1);
+        let fresh = Pipeline::new().with_artifact_hook(hook.clone());
+        fresh.run(&net).unwrap();
+        assert_eq!(fresh.cache_stats().misses, 1, "run() must recompute");
+    }
+
+    #[test]
+    fn remote_error_displays_verbatim() {
+        let e = FlowError::Remote {
+            message: "job 3: (16, 2) is not a valid type II pentanomial: reducible".into(),
+        };
+        // No prefix, no decoration: exports built from relayed errors
+        // must byte-match in-process ones.
+        assert_eq!(
+            e.to_string(),
+            "job 3: (16, 2) is not a valid type II pentanomial: reducible"
+        );
     }
 
     #[test]

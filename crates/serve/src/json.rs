@@ -1,0 +1,338 @@
+//! The workspace's shared hand-rolled JSON layer: a minimal reader and
+//! the string-escaping writer helper.
+//!
+//! This workspace builds with zero registry access, so no serde. The
+//! reader was born in `crates/bench/src/report.rs` to schema-check the
+//! Table V exports; it moved here once the serving daemon needed the
+//! same parser for its line protocol and the artifact store needed it
+//! for its on-disk documents. `rgf2m_bench::report` re-exports it, so
+//! existing validator callers are unaffected.
+//!
+//! Writers stay hand-rolled and **byte-deterministic** at each call
+//! site (fixed field order, fixed float formatting, no timestamps);
+//! this module only provides the one piece every writer shares,
+//! [`json_string`].
+
+/// A parsed JSON value (minimal reader; objects keep insertion order).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, as ordered key/value pairs.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Member lookup on objects (`None` elsewhere).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a JSON document (UTF-8 input; `\uXXXX` escapes including
+/// UTF-16 surrogate pairs are decoded, malformed ones rejected).
+pub fn parse_json(text: &str) -> Result<JsonValue, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+/// Quotes and escapes a string for JSON output.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "expected '{}' at byte {} (found {:?})",
+            c as char,
+            *pos,
+            b.get(*pos).map(|&x| x as char)
+        ))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(JsonValue::Obj(pairs));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, b':')?;
+                let val = parse_value(b, pos)?;
+                pairs.push((key, val));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Obj(pairs));
+                    }
+                    other => return Err(format!("expected ',' or '}}', found {other:?}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(JsonValue::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Arr(items));
+                    }
+                    other => return Err(format!("expected ',' or ']', found {other:?}")),
+                }
+            }
+        }
+        Some(b'"') => Ok(JsonValue::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", JsonValue::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", JsonValue::Null),
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: JsonValue) -> Result<JsonValue, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("invalid literal at byte {pos:?}"))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>()
+        .map(JsonValue::Num)
+        .map_err(|e| format!("bad number {text:?} at byte {start}: {e}"))
+}
+
+/// Reads the four hex digits of a `\uXXXX` escape starting at `at`.
+fn parse_hex4(b: &[u8], at: usize) -> Result<u32, String> {
+    let hex = b
+        .get(at..at + 4)
+        .ok_or("truncated \\u escape".to_string())?;
+    u32::from_str_radix(std::str::from_utf8(hex).map_err(|e| e.to_string())?, 16)
+        .map_err(|e| e.to_string())
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = Vec::new();
+    while *pos < b.len() {
+        match b[*pos] {
+            b'"' => {
+                *pos += 1;
+                return String::from_utf8(out).map_err(|e| e.to_string());
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push(b'"'),
+                    Some(b'\\') => out.push(b'\\'),
+                    Some(b'/') => out.push(b'/'),
+                    Some(b'n') => out.push(b'\n'),
+                    Some(b'r') => out.push(b'\r'),
+                    Some(b't') => out.push(b'\t'),
+                    Some(b'u') => {
+                        let mut code = parse_hex4(b, *pos + 1)?;
+                        *pos += 4;
+                        if (0xD800..=0xDBFF).contains(&code) {
+                            // High surrogate: must pair with a \uXXXX
+                            // low surrogate to form one scalar value.
+                            if b.get(*pos + 1..*pos + 3) != Some(br"\u".as_slice()) {
+                                return Err("high surrogate without \\u pair".into());
+                            }
+                            let low = parse_hex4(b, *pos + 3)?;
+                            if !(0xDC00..=0xDFFF).contains(&low) {
+                                return Err(format!("invalid low surrogate {low:#06x}"));
+                            }
+                            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                            *pos += 6;
+                        }
+                        let c = char::from_u32(code).ok_or("bad \\u escape".to_string())?;
+                        let mut buf = [0u8; 4];
+                        out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                }
+                *pos += 1;
+            }
+            c => {
+                out.push(c);
+                *pos += 1;
+            }
+        }
+    }
+    Err("unterminated string".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrips_scalars_and_nesting() {
+        let v = parse_json(r#"{"a": [1, -2.5, "x\n\"y\"", true, false, null], "b": {}}"#).unwrap();
+        let arr = v.get("a").unwrap().as_array().unwrap();
+        assert_eq!(arr[0].as_f64(), Some(1.0));
+        assert_eq!(arr[1].as_f64(), Some(-2.5));
+        assert_eq!(arr[2].as_str(), Some("x\n\"y\""));
+        assert_eq!(arr[3].as_bool(), Some(true));
+        assert_eq!(arr[4].as_bool(), Some(false));
+        assert_eq!(arr[5], JsonValue::Null);
+        assert_eq!(v.get("b"), Some(&JsonValue::Obj(vec![])));
+    }
+
+    #[test]
+    fn json_rejects_malformed_documents() {
+        for bad in [
+            "{",
+            "[1,",
+            "{\"a\" 1}",
+            "tru",
+            "{} x",
+            "\"unterminated",
+            r#""\ud83d alone""#, // high surrogate without its pair
+            r#""\ud83dA""#,      // high surrogate + non-surrogate
+            r#""\udE00""#,       // bare low surrogate
+        ] {
+            assert!(parse_json(bad).is_err(), "{bad:?} parsed");
+        }
+    }
+
+    #[test]
+    fn json_decodes_unicode_escapes_including_surrogate_pairs() {
+        // é = é (BMP), 😀 = U+1F600 (surrogate pair).
+        let v = parse_json("\"caf\\u00e9 \\ud83d\\ude00\"").unwrap();
+        assert_eq!(v.as_str(), Some("café \u{1F600}"));
+        // Raw UTF-8 passes through untouched too.
+        let raw = parse_json("\"café \u{1F600}\"").unwrap();
+        assert_eq!(raw.as_str(), Some("café \u{1F600}"));
+    }
+
+    #[test]
+    fn json_string_escaping_roundtrips() {
+        let nasty = "line\nbreak \"quoted\" back\\slash \t tab \u{1} ctrl";
+        let doc = format!("{{\"s\": {}}}", json_string(nasty));
+        let parsed = parse_json(&doc).unwrap();
+        assert_eq!(parsed.get("s").and_then(JsonValue::as_str), Some(nasty));
+    }
+
+    #[test]
+    fn floats_written_with_display_roundtrip_exactly() {
+        // The artifact store and the line protocol serialize f64 with
+        // Rust's shortest round-trip `Display`; the reader must get the
+        // identical bits back. Probe a spread of awkward values.
+        for v in [
+            0.0,
+            9.7,
+            1.0 / 3.0,
+            8.654_321_012_345,
+            f64::MIN_POSITIVE,
+            123_456_789.987_654_32,
+            -0.000_001_234_567_890_1,
+        ] {
+            let doc = format!("{{\"v\": {v}}}");
+            let parsed = parse_json(&doc).unwrap();
+            let back = parsed.get("v").and_then(JsonValue::as_f64).unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "{v} did not roundtrip");
+        }
+    }
+}

@@ -1,0 +1,476 @@
+//! The daemon's newline-delimited JSON line protocol: request parsing
+//! (server side), request/response encoding, and response parsing
+//! (client side).
+//!
+//! One request per line, one response line per request. Requests name
+//! an `op`:
+//!
+//! ```text
+//! {"op": "synth", "id": 1, "m": 8, "n": 2, "method": "proposed", "target": "artix7", "seed": 2018}
+//! {"op": "synth", "id": 2, "poly": [8, 4, 3, 2, 0], "method": "mastrovito"}
+//! {"op": "stats", "id": 3}
+//! {"op": "shutdown", "id": 4}
+//! ```
+//!
+//! `method` must name a [`Method`] registry entry and `target` a
+//! [`Target`] registry entry (`target` defaults to `artix7`, the
+//! paper's fabric; `seed` defaults to [`DEFAULT_SEED`]). Responses
+//! echo the request `id` — the daemon may answer out of submission
+//! order, clients reorder by id. Floats travel in Rust's shortest
+//! round-trip `Display`, so a reconstructed [`ImplReport`] is
+//! bit-identical to the daemon's.
+//!
+//! Seeds are full-width `u64` (the bench runner's splitmix64 per-job
+//! seeds use all 64 bits) but JSON numbers are `f64`, whose 53-bit
+//! mantissa would silently round them — and a rounded seed anneals a
+//! *different* placement. Encoders therefore write `seed` as a decimal
+//! **string** (`"seed": "11657511268527099060"`); the parser accepts
+//! either spelling and rejects numeric seeds above 2^53.
+
+use gf2m::Field;
+use gf2poly::{Gf2Poly, TypeIiPentanomial};
+use rgf2m_core::Method;
+use rgf2m_fpga::{ImplReport, Target};
+
+use crate::json::{json_string, parse_json, JsonValue};
+
+/// The placement seed synth requests default to — the paper's year,
+/// kept equal to `rgf2m_bench::HARNESS_SEED` (a bench-side test pins
+/// the two together).
+pub const DEFAULT_SEED: u64 = 2018;
+
+/// The field a synth request names: a Table V `(m, n)` pair or an
+/// explicit modulus by exponents.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum FieldSpec {
+    /// The type II pentanomial `y^m + y^(n+2) + y^(n+1) + y^n + 1`.
+    Pair {
+        /// Extension degree `m`.
+        m: usize,
+        /// Pentanomial offset `n`.
+        n: usize,
+    },
+    /// An arbitrary irreducible modulus, by term exponents.
+    Poly(Vec<usize>),
+}
+
+impl FieldSpec {
+    /// Builds the field, or a one-line reason why not. The pair
+    /// message mirrors the `BatchRunner`'s wording (minus its job
+    /// index, which only the client knows).
+    pub fn build_field(&self) -> Result<Field, String> {
+        match self {
+            FieldSpec::Pair { m, n } => {
+                let penta = TypeIiPentanomial::new(*m, *n)
+                    .map_err(|e| format!("({m}, {n}) is not a valid type II pentanomial: {e}"))?;
+                Ok(Field::from_pentanomial(&penta))
+            }
+            FieldSpec::Poly(exps) => Field::new(Gf2Poly::from_exponents(exps))
+                .map_err(|e| format!("poly {exps:?} is not a valid modulus: {e}")),
+        }
+    }
+}
+
+/// One validated synth job as it travels the wire.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SynthRequest {
+    /// Client-chosen response-matching id.
+    pub id: u64,
+    /// The field to build the multiplier over.
+    pub field: FieldSpec,
+    /// The Table V construction to run.
+    pub method: Method,
+    /// The fabric to implement on.
+    pub target: Target,
+    /// The placement seed.
+    pub seed: u64,
+}
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Run one synthesis job.
+    Synth(SynthRequest),
+    /// Report daemon/store/cache counters.
+    Stats {
+        /// Response-matching id.
+        id: u64,
+    },
+    /// Drain in-flight work, then exit.
+    Shutdown {
+        /// Response-matching id.
+        id: u64,
+    },
+}
+
+/// Parses one request line. Every failure is a one-line reason the
+/// server relays back verbatim.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let doc = parse_json(line)?;
+    let op = doc
+        .get("op")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing \"op\"")?;
+    let id = match doc.get("id") {
+        None => 0,
+        Some(v) => as_u64(v).ok_or("\"id\" must be a non-negative integer")?,
+    };
+    match op {
+        "stats" => Ok(Request::Stats { id }),
+        "shutdown" => Ok(Request::Shutdown { id }),
+        "synth" => {
+            let field = match (doc.get("m"), doc.get("n"), doc.get("poly")) {
+                (Some(m), Some(n), None) => FieldSpec::Pair {
+                    m: as_u64(m).ok_or("\"m\" must be a non-negative integer")? as usize,
+                    n: as_u64(n).ok_or("\"n\" must be a non-negative integer")? as usize,
+                },
+                (None, None, Some(poly)) => {
+                    let exps = poly.as_array().ok_or("\"poly\" must be an array")?;
+                    let exps: Option<Vec<usize>> =
+                        exps.iter().map(|e| as_u64(e).map(|v| v as usize)).collect();
+                    FieldSpec::Poly(exps.ok_or("\"poly\" entries must be non-negative integers")?)
+                }
+                _ => return Err("give either \"m\" and \"n\", or \"poly\"".into()),
+            };
+            let method_name = doc
+                .get("method")
+                .and_then(JsonValue::as_str)
+                .ok_or("missing \"method\"")?;
+            let method = Method::from_name(method_name).ok_or_else(|| {
+                format!(
+                    "unknown method {method_name:?}; registered: {}",
+                    Method::ALL.map(|m| m.name()).join(", ")
+                )
+            })?;
+            let target = match doc.get("target") {
+                None => Target::Artix7,
+                Some(v) => {
+                    let name = v.as_str().ok_or("\"target\" must be a string")?;
+                    Target::from_name(name).ok_or_else(|| {
+                        format!(
+                            "unknown target {name:?}; registered: {}",
+                            Target::ALL.map(|t| t.name()).join(", ")
+                        )
+                    })?
+                }
+            };
+            let seed = match doc.get("seed") {
+                None => DEFAULT_SEED,
+                Some(v) => seed_u64(v).ok_or(
+                    "\"seed\" must be a non-negative integer (as a decimal string for \
+                     values above 2^53, which JSON numbers cannot carry exactly)",
+                )?,
+            };
+            Ok(Request::Synth(SynthRequest {
+                id,
+                field,
+                method,
+                target,
+                seed,
+            }))
+        }
+        other => Err(format!(
+            "unknown op {other:?}; expected synth, stats or shutdown"
+        )),
+    }
+}
+
+/// Encodes a request as its wire line (no trailing newline).
+pub fn encode_request(req: &Request) -> String {
+    match req {
+        Request::Stats { id } => format!("{{\"op\": \"stats\", \"id\": {id}}}"),
+        Request::Shutdown { id } => format!("{{\"op\": \"shutdown\", \"id\": {id}}}"),
+        Request::Synth(s) => {
+            let field = match &s.field {
+                FieldSpec::Pair { m, n } => format!("\"m\": {m}, \"n\": {n}"),
+                FieldSpec::Poly(exps) => format!(
+                    "\"poly\": [{}]",
+                    exps.iter()
+                        .map(|e| e.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            };
+            format!(
+                "{{\"op\": \"synth\", \"id\": {}, {field}, \"method\": {}, \"target\": {}, \"seed\": \"{}\"}}",
+                s.id,
+                json_string(s.method.name()),
+                json_string(s.target.name()),
+                s.seed
+            )
+        }
+    }
+}
+
+/// Encodes a successful synth response (no trailing newline). Echoes
+/// the job identity; floats use shortest round-trip `Display`.
+pub fn encode_synth_ok(req: &SynthRequest, report: &ImplReport, source: &str) -> String {
+    let field = match &req.field {
+        FieldSpec::Pair { m, n } => format!("\"m\": {m}, \"n\": {n}"),
+        FieldSpec::Poly(exps) => format!(
+            "\"poly\": [{}]",
+            exps.iter()
+                .map(|e| e.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+    };
+    format!(
+        "{{\"id\": {}, \"ok\": true, \"source\": {}, {field}, \"method\": {}, \"target\": {}, \"seed\": \"{}\", \
+         \"name\": {}, \"luts\": {}, \"slices\": {}, \"depth\": {}, \"time_ns\": {}, \
+         \"area_time\": {}, \"dup_gates\": {}, \"dead_nodes\": {}, \"and_depth\": {}, \
+         \"xor_depth\": {}, \"worst_slack_ns\": {}}}",
+        req.id,
+        json_string(source),
+        json_string(req.method.name()),
+        json_string(req.target.name()),
+        req.seed,
+        json_string(&report.name),
+        report.luts,
+        report.slices,
+        report.depth,
+        report.time_ns,
+        report.area_time(),
+        report.dup_gates,
+        report.dead_nodes,
+        report.and_depth,
+        report.xor_depth,
+        report.worst_slack_ns
+    )
+}
+
+/// Encodes a failure response (no trailing newline).
+pub fn encode_error(id: u64, message: &str) -> String {
+    format!(
+        "{{\"id\": {id}, \"ok\": false, \"error\": {}}}",
+        json_string(message)
+    )
+}
+
+/// Encodes the shutdown acknowledgement (no trailing newline).
+pub fn encode_shutdown_ack(id: u64) -> String {
+    format!("{{\"id\": {id}, \"ok\": true, \"shutting_down\": true}}")
+}
+
+/// One parsed response line, with typed access to the synth payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The echoed request id.
+    pub id: u64,
+    /// Whether the request succeeded.
+    pub ok: bool,
+    /// The whole response document (for `stats` payloads and
+    /// diagnostics).
+    pub doc: JsonValue,
+}
+
+impl Response {
+    /// The failure message of a `"ok": false` response.
+    pub fn error(&self) -> Option<&str> {
+        self.doc.get("error").and_then(JsonValue::as_str)
+    }
+
+    /// The cache provenance tag of a synth response
+    /// (`memory` / `store` / `computed`).
+    pub fn source(&self) -> Option<&str> {
+        self.doc.get("source").and_then(JsonValue::as_str)
+    }
+
+    /// Reconstructs the [`ImplReport`] of a successful synth response,
+    /// bit-identical to the daemon's in-process report.
+    pub fn report(&self) -> Result<ImplReport, String> {
+        if !self.ok {
+            return Err(self.error().unwrap_or("<no error recorded>").to_string());
+        }
+        let num = |key: &str| -> Result<f64, String> {
+            self.doc
+                .get(key)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("response: missing numeric \"{key}\""))
+        };
+        let count = |key: &str| -> Result<usize, String> {
+            let v = num(key)?;
+            if v < 0.0 || v.fract() != 0.0 {
+                return Err(format!("response: \"{key}\" = {v} is not a count"));
+            }
+            Ok(v as usize)
+        };
+        Ok(ImplReport {
+            name: self
+                .doc
+                .get("name")
+                .and_then(JsonValue::as_str)
+                .ok_or("response: missing \"name\"")?
+                .to_string(),
+            luts: count("luts")?,
+            slices: count("slices")?,
+            depth: count("depth")? as u32,
+            time_ns: num("time_ns")?,
+            dup_gates: count("dup_gates")?,
+            dead_nodes: count("dead_nodes")?,
+            worst_slack_ns: num("worst_slack_ns")?,
+            and_depth: count("and_depth")? as u32,
+            xor_depth: count("xor_depth")? as u32,
+        })
+    }
+}
+
+/// Parses one response line.
+pub fn parse_response(line: &str) -> Result<Response, String> {
+    let doc = parse_json(line)?;
+    let id = doc
+        .get("id")
+        .and_then(as_u64_ref)
+        .ok_or("response: missing \"id\"")?;
+    let ok = doc
+        .get("ok")
+        .and_then(JsonValue::as_bool)
+        .ok_or("response: missing \"ok\"")?;
+    Ok(Response { id, ok, doc })
+}
+
+fn as_u64(v: &JsonValue) -> Option<u64> {
+    let f = v.as_f64()?;
+    (f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64).then_some(f as u64)
+}
+
+/// A seed: a decimal string (exact at any width), or a JSON number up
+/// to 2^53 (beyond which `f64` would have rounded it in transit).
+fn seed_u64(v: &JsonValue) -> Option<u64> {
+    match v {
+        JsonValue::Str(s) => s.parse().ok(),
+        _ => as_u64(v).filter(|&s| s <= (1 << 53)),
+    }
+}
+
+fn as_u64_ref(v: &JsonValue) -> Option<u64> {
+    as_u64(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req() -> SynthRequest {
+        SynthRequest {
+            id: 7,
+            field: FieldSpec::Pair { m: 8, n: 2 },
+            method: Method::ProposedFlat,
+            target: Target::Virtex5,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn requests_roundtrip_through_the_wire_format() {
+        for r in [
+            Request::Synth(req()),
+            Request::Synth(SynthRequest {
+                field: FieldSpec::Poly(vec![8, 4, 3, 2, 0]),
+                ..req()
+            }),
+            Request::Stats { id: 3 },
+            Request::Shutdown { id: 4 },
+        ] {
+            let line = encode_request(&r);
+            assert_eq!(parse_request(&line), Ok(r.clone()), "{line}");
+        }
+    }
+
+    #[test]
+    fn full_width_seeds_survive_the_wire_exactly() {
+        // A splitmix64 per-job seed uses all 64 bits — far above f64's
+        // 53-bit mantissa. It must round-trip bit-exactly (it travels
+        // as a decimal string), and a bare JSON number that wide must
+        // be rejected rather than silently rounded.
+        let wide = SynthRequest {
+            seed: 11_657_511_268_527_099_060,
+            ..req()
+        };
+        let line = encode_request(&Request::Synth(wide.clone()));
+        let Ok(Request::Synth(back)) = parse_request(&line) else {
+            panic!("did not parse: {line}");
+        };
+        assert_eq!(back.seed, wide.seed);
+        let numeric = line.replace("\"11657511268527099060\"", "11657511268527099060");
+        assert!(parse_request(&numeric).unwrap_err().contains("2^53"));
+        // Small numeric seeds (hand-written requests) still work.
+        let r =
+            parse_request(r#"{"op": "synth", "m": 8, "n": 2, "method": "proposed", "seed": 2018}"#)
+                .unwrap();
+        let Request::Synth(s) = r else {
+            panic!("not synth")
+        };
+        assert_eq!(s.seed, 2018);
+    }
+
+    #[test]
+    fn request_defaults_and_registry_validation() {
+        let r = parse_request(r#"{"op": "synth", "m": 8, "n": 2, "method": "proposed"}"#).unwrap();
+        let Request::Synth(s) = r else {
+            panic!("not synth")
+        };
+        assert_eq!(s.id, 0);
+        assert_eq!(s.target, Target::Artix7);
+        assert_eq!(s.seed, DEFAULT_SEED);
+        // Unknown names fail against the registries, listing them.
+        let bad = parse_request(r#"{"op": "synth", "m": 8, "n": 2, "method": "magic"}"#);
+        assert!(bad.unwrap_err().contains("mastrovito"));
+        let bad = parse_request(
+            r#"{"op": "synth", "m": 8, "n": 2, "method": "proposed", "target": "ise_14_7"}"#,
+        );
+        assert!(bad.unwrap_err().contains("artix7"));
+        // Both field spellings at once is ambiguous; neither is empty.
+        assert!(parse_request(
+            r#"{"op": "synth", "m": 8, "n": 2, "poly": [1], "method": "proposed"}"#
+        )
+        .is_err());
+        assert!(parse_request(r#"{"op": "synth", "method": "proposed"}"#).is_err());
+        assert!(parse_request(r#"{"op": "fly"}"#).is_err());
+        assert!(parse_request("not json").is_err());
+    }
+
+    #[test]
+    fn synth_response_reconstructs_the_exact_report() {
+        let report = ImplReport {
+            name: "gf256_proposed".into(),
+            luts: 33,
+            slices: 11,
+            depth: 3,
+            time_ns: 9.876_543_210_123,
+            dup_gates: 0,
+            dead_nodes: 0,
+            worst_slack_ns: 0.0,
+            and_depth: 1,
+            xor_depth: 5,
+        };
+        let line = encode_synth_ok(&req(), &report, "computed");
+        let resp = parse_response(&line).unwrap();
+        assert_eq!(resp.id, 7);
+        assert!(resp.ok);
+        assert_eq!(resp.source(), Some("computed"));
+        let back = resp.report().unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.time_ns.to_bits(), report.time_ns.to_bits());
+    }
+
+    #[test]
+    fn error_responses_relay_the_message_verbatim() {
+        let msg = "job 3: (16, 2) is not a valid type II pentanomial: reducible";
+        let resp = parse_response(&encode_error(9, msg)).unwrap();
+        assert_eq!(resp.id, 9);
+        assert!(!resp.ok);
+        assert_eq!(resp.error(), Some(msg));
+        assert_eq!(resp.report().unwrap_err(), msg);
+    }
+
+    #[test]
+    fn field_specs_build_fields_or_explain_why_not() {
+        assert!(FieldSpec::Pair { m: 8, n: 2 }.build_field().is_ok());
+        let err = FieldSpec::Pair { m: 16, n: 2 }.build_field().unwrap_err();
+        assert!(err.contains("(16, 2) is not a valid type II pentanomial"));
+        // The paper's GF(2^8) modulus, spelled as exponents.
+        assert!(FieldSpec::Poly(vec![8, 4, 3, 2, 0]).build_field().is_ok());
+        assert!(FieldSpec::Poly(vec![4, 2, 0]).build_field().is_err());
+    }
+}

@@ -1,0 +1,517 @@
+//! The `rgf2m-served` daemon core: a long-lived server accepting
+//! newline-delimited JSON synth jobs, deduplicating identical
+//! in-flight requests (singleflight), fanning distinct jobs over a
+//! bounded worker pool with the `BatchRunner`'s scoped-thread +
+//! deterministic-seed discipline, and serving results out of a
+//! three-level cache (per-pipeline memory → disk [`ArtifactStore`] →
+//! compute).
+//!
+//! Concurrency model:
+//!
+//! * one acceptor (the [`serve`] caller's thread) + one reader thread
+//!   per connection + `workers` computation threads, all inside one
+//!   `std::thread::scope`;
+//! * a request for a job key already in flight **joins** that flight
+//!   instead of queueing a duplicate — when the flight lands, every
+//!   waiter gets its own response line (each with its own id);
+//! * determinism lives in the key: jobs run through one shared
+//!   [`Pipeline`] per `(target, seed)`, so a given key always anneals
+//!   with its requested seed and repeat traffic hits that pipeline's
+//!   memory cache;
+//! * graceful shutdown (the `shutdown` op) stops accepting, lets the
+//!   workers drain every queued and in-flight job, answers every
+//!   waiter, then closes the remaining connections and returns.
+
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use rgf2m_core::Method;
+use rgf2m_fpga::{CacheStats, Pipeline, PlaceOptions, ReportSource, Target};
+
+use crate::net::{AnyListener, Conn, Endpoint};
+use crate::protocol::{
+    encode_error, encode_shutdown_ack, encode_synth_ok, parse_request, FieldSpec, Request,
+    SynthRequest, DEFAULT_SEED,
+};
+use crate::store::ArtifactStore;
+
+/// The annealing-proposal budget the daemon's default template is
+/// pinned to — equal to `rgf2m_bench::HARNESS_MAX_TOTAL_MOVES` (a
+/// bench-side test pins the two together), so daemon-served reports
+/// byte-match the table binaries' in-process runs.
+pub const DEFAULT_MAX_TOTAL_MOVES: usize = 1_200_000;
+
+/// The daemon's default pipeline template: deterministic seed, exact
+/// bounded annealing budget — the same options fingerprint as the
+/// bench harness, so one store serves both worlds.
+pub fn default_template() -> Pipeline {
+    Pipeline::new().with_place_options(PlaceOptions {
+        seed: DEFAULT_SEED,
+        max_total_moves: DEFAULT_MAX_TOTAL_MOVES,
+        ..PlaceOptions::default()
+    })
+}
+
+/// How a daemon should run.
+#[derive(Debug)]
+pub struct ServerConfig {
+    /// Where to listen.
+    pub endpoint: Endpoint,
+    /// Disk store root (`None` = memory-only).
+    pub store_root: Option<PathBuf>,
+    /// Worker threads (`0` = one per available CPU).
+    pub workers: usize,
+    /// The pipeline options template jobs run through (per job, the
+    /// target and placement seed are overridden by the request).
+    pub template: Pipeline,
+}
+
+impl ServerConfig {
+    /// A config with the default template, store off, auto workers.
+    pub fn new(endpoint: Endpoint) -> Self {
+        ServerConfig {
+            endpoint,
+            store_root: None,
+            workers: 0,
+            template: default_template(),
+        }
+    }
+
+    /// Enables the disk store under `root`.
+    pub fn with_store_root(mut self, root: impl Into<PathBuf>) -> Self {
+        self.store_root = Some(root.into());
+        self
+    }
+
+    /// Sets the worker thread count (`0` = one per available CPU).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Replaces the pipeline template.
+    pub fn with_template(mut self, template: Pipeline) -> Self {
+        self.template = template;
+        self
+    }
+}
+
+/// A spawned daemon: its resolved endpoint plus the join handle.
+#[derive(Debug)]
+pub struct ServerHandle {
+    endpoint: Endpoint,
+    thread: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+impl ServerHandle {
+    /// The resolved endpoint (for TCP `:0` binds, the real port).
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// Waits for the daemon to exit (it exits on a `shutdown`
+    /// request).
+    pub fn join(self) -> std::io::Result<()> {
+        self.thread
+            .join()
+            .unwrap_or_else(|e| std::panic::resume_unwind(e))
+    }
+}
+
+/// Binds the endpoint and runs the daemon on a background thread.
+pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let (listener, resolved) = AnyListener::bind(&config.endpoint)?;
+    let endpoint = resolved.clone();
+    let thread = std::thread::spawn(move || serve(listener, resolved, config));
+    Ok(ServerHandle { endpoint, thread })
+}
+
+/// Runs the daemon on the calling thread until a `shutdown` request
+/// drains it. `resolved` must be the endpoint `listener` is bound to
+/// (the shutdown path connects to it to unblock the acceptor).
+pub fn serve(
+    listener: AnyListener,
+    resolved: Endpoint,
+    config: ServerConfig,
+) -> std::io::Result<()> {
+    let store = match &config.store_root {
+        Some(root) => Some(Arc::new(ArtifactStore::open(root)?)),
+        None => None,
+    };
+    let workers = if config.workers == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        config.workers
+    };
+    let shared = Shared {
+        template: config.template,
+        endpoint: resolved.clone(),
+        store,
+        pipelines: Mutex::new(HashMap::new()),
+        board: Mutex::new(Board::default()),
+        work_cv: Condvar::new(),
+        drain_cv: Condvar::new(),
+        shutting_down: AtomicBool::new(false),
+        conns: Mutex::new(Vec::new()),
+        counters: Counters::default(),
+        timings: Mutex::new([StageTime::default(), StageTime::default()]),
+    };
+    let result = std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| shared.worker_loop());
+        }
+        loop {
+            let conn = match listener.accept() {
+                Ok(conn) => conn,
+                Err(_) if shared.shutting_down.load(Ordering::SeqCst) => break,
+                Err(e) => {
+                    // Acceptor failure: initiate the same drain a
+                    // shutdown request would, then report the error.
+                    shared.begin_shutdown();
+                    shared.drain_and_close();
+                    return Err(e);
+                }
+            };
+            if shared.shutting_down.load(Ordering::SeqCst) {
+                break; // the shutdown self-wake (or a late client)
+            }
+            if let Ok(clone) = conn.try_clone() {
+                shared.conns.lock().expect("conns poisoned").push(clone);
+            }
+            let shared = &shared;
+            scope.spawn(move || shared.handle_conn(conn));
+        }
+        shared.drain_and_close();
+        Ok(())
+    });
+    if let Endpoint::Unix(path) = &resolved {
+        let _ = std::fs::remove_file(path);
+    }
+    result
+}
+
+/// One singleflight job identity: everything that changes the answer.
+type JobKey = (FieldSpec, Method, Target, u64);
+
+/// A response destination: the request to echo plus the connection's
+/// shared write half.
+struct Waiter {
+    req: SynthRequest,
+    out: Arc<Mutex<Conn>>,
+}
+
+#[derive(Default)]
+struct Board {
+    /// Keys awaiting a worker, FIFO.
+    queue: VecDeque<JobKey>,
+    /// Every in-flight key → everyone waiting on it.
+    flights: HashMap<JobKey, Vec<Waiter>>,
+    /// Workers currently writing responses for a landed flight (the
+    /// drain must not close connections under them).
+    writing: usize,
+}
+
+#[derive(Default)]
+struct Counters {
+    jobs_received: AtomicUsize,
+    jobs_ok: AtomicUsize,
+    jobs_failed: AtomicUsize,
+    dedup_waits: AtomicUsize,
+    computed: AtomicUsize,
+    from_memory: AtomicUsize,
+    from_store: AtomicUsize,
+    stats_served: AtomicUsize,
+}
+
+/// Wall-time aggregate of one daemon stage.
+#[derive(Default, Clone, Copy)]
+struct StageTime {
+    count: usize,
+    total_us: u128,
+    max_us: u128,
+}
+
+const STAGE_GENERATE: usize = 0;
+const STAGE_SYNTH: usize = 1;
+
+struct Shared {
+    template: Pipeline,
+    endpoint: Endpoint,
+    store: Option<Arc<ArtifactStore>>,
+    /// One pipeline per `(target, seed)`: determinism per key, and a
+    /// memory cache that repeat traffic actually hits.
+    pipelines: Mutex<HashMap<(Target, u64), Arc<Pipeline>>>,
+    board: Mutex<Board>,
+    work_cv: Condvar,
+    drain_cv: Condvar,
+    shutting_down: AtomicBool,
+    conns: Mutex<Vec<Conn>>,
+    counters: Counters,
+    timings: Mutex<[StageTime; 2]>,
+}
+
+impl Shared {
+    // ---------------- connection handling ----------------
+
+    fn handle_conn(&self, conn: Conn) {
+        let writer = match conn.try_clone() {
+            Ok(w) => Arc::new(Mutex::new(w)),
+            Err(_) => return,
+        };
+        let reader = BufReader::new(conn);
+        for line in reader.lines() {
+            let Ok(line) = line else { break };
+            if line.trim().is_empty() {
+                continue;
+            }
+            match parse_request(&line) {
+                Err(e) => {
+                    write_line(&writer, &encode_error(0, &format!("bad request: {e}")));
+                }
+                Ok(Request::Stats { id }) => {
+                    self.counters.stats_served.fetch_add(1, Ordering::Relaxed);
+                    write_line(&writer, &self.stats_line(id));
+                }
+                Ok(Request::Shutdown { id }) => {
+                    write_line(&writer, &encode_shutdown_ack(id));
+                    self.begin_shutdown();
+                }
+                Ok(Request::Synth(req)) => self.submit(req, writer.clone()),
+            }
+        }
+    }
+
+    fn submit(&self, req: SynthRequest, out: Arc<Mutex<Conn>>) {
+        self.counters.jobs_received.fetch_add(1, Ordering::Relaxed);
+        let key: JobKey = (req.field.clone(), req.method, req.target, req.seed);
+        let rejected = {
+            let mut board = self.board.lock().expect("board poisoned");
+            // The shutdown check must happen under the board lock:
+            // workers exit with (flag set, queue empty) observed under
+            // this same lock, so a job enqueued here is either seen by
+            // a live worker or never enqueued at all — the drain can't
+            // be left waiting on a flight no worker will pick up.
+            if self.shutting_down.load(Ordering::SeqCst) {
+                true
+            } else {
+                let waiter = Waiter {
+                    req: req.clone(),
+                    out: out.clone(),
+                };
+                match board.flights.entry(key) {
+                    Entry::Occupied(mut e) => {
+                        // Singleflight: join the in-flight computation.
+                        e.get_mut().push(waiter);
+                        self.counters.dedup_waits.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Entry::Vacant(e) => {
+                        let key = e.key().clone();
+                        e.insert(vec![waiter]);
+                        board.queue.push_back(key);
+                        self.work_cv.notify_one();
+                    }
+                }
+                false
+            }
+        };
+        if rejected {
+            self.counters.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            write_line(&out, &encode_error(req.id, "daemon is shutting down"));
+        }
+    }
+
+    // ---------------- workers ----------------
+
+    fn worker_loop(&self) {
+        loop {
+            let key = {
+                let mut board = self.board.lock().expect("board poisoned");
+                loop {
+                    if let Some(key) = board.queue.pop_front() {
+                        break key;
+                    }
+                    if self.shutting_down.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    board = self.work_cv.wait(board).expect("board poisoned");
+                }
+            };
+            let outcome = self.execute(&key);
+            let waiters = {
+                let mut board = self.board.lock().expect("board poisoned");
+                board.writing += 1;
+                board.flights.remove(&key).unwrap_or_default()
+            };
+            for waiter in waiters {
+                let line = match &outcome {
+                    Ok((report, source)) => {
+                        self.counters.jobs_ok.fetch_add(1, Ordering::Relaxed);
+                        encode_synth_ok(&waiter.req, report, source.tag())
+                    }
+                    Err(message) => {
+                        self.counters.jobs_failed.fetch_add(1, Ordering::Relaxed);
+                        encode_error(waiter.req.id, message)
+                    }
+                };
+                write_line(&waiter.out, &line);
+            }
+            let mut board = self.board.lock().expect("board poisoned");
+            board.writing -= 1;
+            if board.queue.is_empty() && board.flights.is_empty() && board.writing == 0 {
+                self.drain_cv.notify_all();
+            }
+        }
+    }
+
+    fn execute(&self, key: &JobKey) -> Result<(rgf2m_fpga::ImplReport, ReportSource), String> {
+        let (field_spec, method, target, seed) = key;
+        let field = field_spec.build_field()?;
+        let t0 = Instant::now();
+        let net = method.generator().generate(&field);
+        self.record_stage(STAGE_GENERATE, t0);
+        let pipeline = self.pipeline_for(*target, *seed);
+        let t1 = Instant::now();
+        let outcome = pipeline.run_report_sourced(&net).map_err(|e| e.to_string());
+        self.record_stage(STAGE_SYNTH, t1);
+        if let Ok((_, source)) = &outcome {
+            let counter = match source {
+                ReportSource::Memory => &self.counters.from_memory,
+                ReportSource::Store => &self.counters.from_store,
+                ReportSource::Computed => &self.counters.computed,
+            };
+            counter.fetch_add(1, Ordering::Relaxed);
+        }
+        outcome
+    }
+
+    fn pipeline_for(&self, target: Target, seed: u64) -> Arc<Pipeline> {
+        let mut map = self.pipelines.lock().expect("pipelines poisoned");
+        map.entry((target, seed))
+            .or_insert_with(|| {
+                let mut p = self.template.clone_config();
+                if target != p.target() {
+                    // Mirror the BatchRunner: only retarget when the
+                    // job deviates from the template fabric, so a
+                    // same-shape device recalibration carries through.
+                    p = p.with_target(target);
+                }
+                p = p.with_place_seed(seed);
+                if let Some(store) = &self.store {
+                    p = p.with_artifact_hook(store.clone());
+                }
+                Arc::new(p)
+            })
+            .clone()
+    }
+
+    fn record_stage(&self, stage: usize, since: Instant) {
+        let us = since.elapsed().as_micros();
+        let mut timings = self.timings.lock().expect("timings poisoned");
+        let t = &mut timings[stage];
+        t.count += 1;
+        t.total_us += us;
+        t.max_us = t.max_us.max(us);
+    }
+
+    // ---------------- stats ----------------
+
+    fn stats_line(&self, id: u64) -> String {
+        let c = &self.counters;
+        let cache = {
+            let map = self.pipelines.lock().expect("pipelines poisoned");
+            map.values().fold(CacheStats::default(), |acc, p| {
+                let s = p.cache_stats();
+                CacheStats {
+                    hits: acc.hits + s.hits,
+                    store_hits: acc.store_hits + s.store_hits,
+                    misses: acc.misses + s.misses,
+                    inserts: acc.inserts + s.inserts,
+                    entries: acc.entries + s.entries,
+                }
+            })
+        };
+        let pipelines = self.pipelines.lock().expect("pipelines poisoned").len();
+        let store = match &self.store {
+            Some(store) => {
+                let s = store.stats();
+                format!(
+                    "{{\"hits\": {}, \"misses\": {}, \"corrupt\": {}, \"writes\": {}, \"write_errors\": {}}}",
+                    s.hits, s.misses, s.corrupt, s.writes, s.write_errors
+                )
+            }
+            None => "null".to_string(),
+        };
+        let timings = {
+            let t = self.timings.lock().expect("timings poisoned");
+            let stage = |s: &StageTime| {
+                format!(
+                    "{{\"count\": {}, \"total_us\": {}, \"max_us\": {}}}",
+                    s.count, s.total_us, s.max_us
+                )
+            };
+            format!(
+                "{{\"generate\": {}, \"synth\": {}}}",
+                stage(&t[STAGE_GENERATE]),
+                stage(&t[STAGE_SYNTH])
+            )
+        };
+        format!(
+            "{{\"id\": {id}, \"ok\": true, \"schema\": \"rgf2m-stats/1\", \
+             \"jobs_received\": {}, \"jobs_ok\": {}, \"jobs_failed\": {}, \
+             \"dedup_waits\": {}, \"computed\": {}, \"from_memory\": {}, \"from_store\": {}, \
+             \"pipelines\": {pipelines}, \
+             \"cache\": {{\"hits\": {}, \"store_hits\": {}, \"misses\": {}, \"inserts\": {}, \"entries\": {}}}, \
+             \"store\": {store}, \"timings\": {timings}}}",
+            c.jobs_received.load(Ordering::Relaxed),
+            c.jobs_ok.load(Ordering::Relaxed),
+            c.jobs_failed.load(Ordering::Relaxed),
+            c.dedup_waits.load(Ordering::Relaxed),
+            c.computed.load(Ordering::Relaxed),
+            c.from_memory.load(Ordering::Relaxed),
+            c.from_store.load(Ordering::Relaxed),
+            cache.hits,
+            cache.store_hits,
+            cache.misses,
+            cache.inserts,
+            cache.entries
+        )
+    }
+
+    // ---------------- shutdown ----------------
+
+    fn begin_shutdown(&self) {
+        if self.shutting_down.swap(true, Ordering::SeqCst) {
+            return; // already shutting down
+        }
+        self.work_cv.notify_all();
+        // Unblock the acceptor with a throwaway self-connection.
+        let _ = self.endpoint.connect();
+    }
+
+    /// Waits until every accepted job has been answered, then closes
+    /// the remaining connections so their reader threads exit.
+    fn drain_and_close(&self) {
+        let mut board = self.board.lock().expect("board poisoned");
+        while !(board.queue.is_empty() && board.flights.is_empty() && board.writing == 0) {
+            board = self.drain_cv.wait(board).expect("board poisoned");
+        }
+        drop(board);
+        self.work_cv.notify_all(); // release idle workers
+        for conn in self.conns.lock().expect("conns poisoned").iter() {
+            let _ = conn.shutdown();
+        }
+    }
+}
+
+fn write_line(out: &Arc<Mutex<Conn>>, line: &str) {
+    let mut conn = out.lock().expect("connection writer poisoned");
+    // A vanished client is its own problem; the daemon carries on.
+    let _ = conn.write_all(line.as_bytes());
+    let _ = conn.write_all(b"\n");
+    let _ = conn.flush();
+}

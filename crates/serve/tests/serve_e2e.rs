@@ -1,0 +1,249 @@
+//! End-to-end daemon contract: warm-store replay of the full
+//! six-method × four-target GF(2^8) grid with zero recomputations,
+//! byte-identical daemon vs in-process reports, singleflight dedup of
+//! concurrent identical requests, and graceful drain on shutdown.
+
+use std::fs;
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use gf2m::Field;
+use gf2poly::TypeIiPentanomial;
+use rgf2m_core::Method;
+use rgf2m_fpga::{Pipeline, Target};
+use rgf2m_serve::client::{Client, ClientJob};
+use rgf2m_serve::json::JsonValue;
+use rgf2m_serve::net::Endpoint;
+use rgf2m_serve::protocol::{
+    encode_request, parse_response, FieldSpec, Request, SynthRequest, DEFAULT_SEED,
+};
+use rgf2m_serve::server::{self, default_template, ServerConfig};
+use rgf2m_serve::store::ArtifactStore;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rgf2m-e2e-test-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn gf256() -> Field {
+    Field::from_pentanomial(&TypeIiPentanomial::new(8, 2).expect("(8,2) is the paper's field"))
+}
+
+/// The daemon's per-(target, seed) pipeline, reproduced in-process.
+fn pipeline_like_daemon(target: Target, seed: u64) -> Pipeline {
+    let mut p = default_template();
+    if target != p.target() {
+        p = p.with_target(target);
+    }
+    p.with_place_seed(seed)
+}
+
+/// Acceptance criterion: a warm-store replay of the six-method ×
+/// four-target GF(2^8) grid completes with **zero** pipeline
+/// recomputations, asserted via `CacheStats`, and serves reports
+/// identical to the cold run's.
+#[test]
+fn warm_store_replay_of_the_gf256_grid_recomputes_nothing() {
+    let store = Arc::new(ArtifactStore::open(scratch("grid")).unwrap());
+    let field = gf256();
+    let nets: Vec<_> = Method::ALL
+        .iter()
+        .map(|m| m.generator().generate(&field))
+        .collect();
+    let grid_size = Method::ALL.len() * Target::ALL.len();
+    // Cold pass: every (method, target) cell is a genuine computation.
+    let mut cold = Vec::new();
+    for target in Target::ALL {
+        let p = pipeline_like_daemon(target, DEFAULT_SEED).with_artifact_hook(store.clone());
+        for net in &nets {
+            cold.push(p.run_report(net).unwrap());
+        }
+        let stats = p.cache_stats();
+        assert_eq!(stats.misses, Method::ALL.len(), "{target:?}: {stats:?}");
+    }
+    assert_eq!(store.stats().writes, grid_size);
+    // Warm replay in "another process": fresh pipelines, same store.
+    let mut warm = Vec::new();
+    for target in Target::ALL {
+        let p = pipeline_like_daemon(target, DEFAULT_SEED).with_artifact_hook(store.clone());
+        for net in &nets {
+            let (report, _) = p.run_report_sourced(net).unwrap();
+            warm.push(report);
+        }
+        let stats = p.cache_stats();
+        assert_eq!(stats.misses, 0, "{target:?} recomputed: {stats:?}");
+        assert_eq!(stats.store_hits, Method::ALL.len(), "{target:?}: {stats:?}");
+    }
+    assert_eq!(warm, cold);
+}
+
+/// Daemon answers must be indistinguishable from in-process runs: the
+/// reconstructed reports compare equal (floats bit-for-bit), repeat
+/// traffic is served from daemon memory, and a daemon restart over the
+/// same store serves from disk without recomputing.
+#[test]
+fn daemon_reports_match_in_process_runs_and_survive_restart() {
+    let sock = scratch("daemon.sockdir").join("d.sock");
+    fs::create_dir_all(sock.parent().unwrap()).unwrap();
+    let store_root = scratch("daemon-store");
+    let jobs: Vec<ClientJob> = Method::ALL
+        .map(|method| ClientJob {
+            field: FieldSpec::Pair { m: 8, n: 2 },
+            method,
+            target: Target::Artix7,
+            seed: DEFAULT_SEED,
+        })
+        .to_vec();
+
+    let handle =
+        server::spawn(ServerConfig::new(Endpoint::Unix(sock.clone())).with_store_root(&store_root))
+            .unwrap();
+    let mut client = Client::connect(handle.endpoint()).unwrap();
+    let served = client.synth_batch(&jobs).unwrap();
+
+    let field = gf256();
+    let reference = pipeline_like_daemon(Target::Artix7, DEFAULT_SEED);
+    for (job, outcome) in jobs.iter().zip(&served) {
+        let (report, source) = outcome.as_ref().expect("valid job");
+        assert_eq!(source, "computed");
+        let fresh = reference
+            .run_report(&job.method.generator().generate(&field))
+            .unwrap();
+        assert_eq!(*report, fresh, "{:?}", job.method);
+        assert_eq!(report.time_ns.to_bits(), fresh.time_ns.to_bits());
+    }
+    // Same batch again: every answer now comes from daemon memory.
+    for outcome in client.synth_batch(&jobs).unwrap() {
+        assert_eq!(outcome.expect("valid job").1, "memory");
+    }
+    // An invalid job errors without disturbing the daemon.
+    let invalid = ClientJob {
+        field: FieldSpec::Pair { m: 16, n: 2 },
+        ..jobs[0].clone()
+    };
+    let err = client.synth(&invalid).unwrap().unwrap_err();
+    assert!(err.contains("(16, 2) is not a valid type II pentanomial"));
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+
+    // Restart over the same store: no memory, but every report comes
+    // off disk — nothing is recomputed, across processes.
+    let handle =
+        server::spawn(ServerConfig::new(Endpoint::Unix(sock.clone())).with_store_root(&store_root))
+            .unwrap();
+    let mut client = Client::connect(handle.endpoint()).unwrap();
+    for outcome in client.synth_batch(&jobs).unwrap() {
+        assert_eq!(outcome.expect("valid job").1, "store");
+    }
+    let stats = client.stats().unwrap();
+    let num = |path: &[&str]| {
+        let mut v = &stats;
+        for key in path {
+            v = v.get(key).unwrap_or_else(|| panic!("stats lacks {path:?}"));
+        }
+        v.as_f64()
+            .unwrap_or_else(|| panic!("{path:?} not a number"))
+    };
+    assert_eq!(num(&["computed"]), 0.0);
+    assert_eq!(num(&["from_store"]), Method::ALL.len() as f64);
+    assert_eq!(num(&["store", "hits"]), Method::ALL.len() as f64);
+    assert_eq!(num(&["jobs_ok"]), Method::ALL.len() as f64);
+    assert_eq!(
+        stats.get("schema").and_then(JsonValue::as_str),
+        Some("rgf2m-stats/1")
+    );
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// Singleflight: N concurrent identical requests (over N independent
+/// connections) trigger exactly one pipeline computation.
+#[test]
+fn concurrent_identical_requests_compute_exactly_once() {
+    let handle =
+        server::spawn(ServerConfig::new(Endpoint::Tcp("127.0.0.1:0".into())).with_workers(2))
+            .unwrap();
+    let endpoint = handle.endpoint().clone();
+    const N: usize = 6;
+    let job = ClientJob {
+        field: FieldSpec::Pair { m: 8, n: 2 },
+        method: Method::ProposedFlat,
+        target: Target::Artix7,
+        seed: DEFAULT_SEED,
+    };
+    let reports: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..N)
+            .map(|_| {
+                let endpoint = endpoint.clone();
+                let job = job.clone();
+                scope.spawn(move || {
+                    let mut client = Client::connect(&endpoint).unwrap();
+                    client.synth(&job).unwrap().expect("valid job").0
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for r in &reports[1..] {
+        assert_eq!(r, &reports[0]);
+    }
+    let mut client = Client::connect(&endpoint).unwrap();
+    let stats = client.stats().unwrap();
+    let computed = stats.get("computed").and_then(JsonValue::as_f64).unwrap();
+    assert_eq!(computed, 1.0, "identical in-flight jobs must dedup");
+    let ok = stats.get("jobs_ok").and_then(JsonValue::as_f64).unwrap();
+    assert_eq!(ok, N as f64);
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// Graceful shutdown drains: jobs pipelined *before* the shutdown op
+/// on the same connection are all answered before the daemon exits.
+#[test]
+fn shutdown_drains_pipelined_work_before_exiting() {
+    let handle = server::spawn(ServerConfig::new(Endpoint::Tcp("127.0.0.1:0".into()))).unwrap();
+    let endpoint = handle.endpoint().clone();
+    let mut conn = endpoint.connect().unwrap();
+    let mut lines = Vec::new();
+    for (i, method) in Method::ALL.iter().enumerate() {
+        lines.push(encode_request(&Request::Synth(SynthRequest {
+            id: 1 + i as u64,
+            field: FieldSpec::Pair { m: 8, n: 2 },
+            method: *method,
+            target: Target::Artix7,
+            seed: DEFAULT_SEED,
+        })));
+    }
+    lines.push(encode_request(&Request::Shutdown { id: 99 }));
+    conn.write_all((lines.join("\n") + "\n").as_bytes())
+        .unwrap();
+    conn.flush().unwrap();
+    // Every synth job submitted before the shutdown op must be
+    // answered; the ack may interleave anywhere.
+    let reader = BufReader::new(conn.try_clone().unwrap());
+    let mut ok_jobs = 0;
+    let mut acked = false;
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let resp = parse_response(&line).unwrap();
+        if resp.id == 99 {
+            acked = true;
+        } else {
+            assert!(resp.ok, "job {} failed: {:?}", resp.id, resp.error());
+            ok_jobs += 1;
+        }
+        if acked && ok_jobs == Method::ALL.len() {
+            break;
+        }
+    }
+    assert!(acked, "shutdown never acknowledged");
+    assert_eq!(ok_jobs, Method::ALL.len(), "drain lost answers");
+    handle.join().unwrap();
+    // The daemon is actually gone.
+    assert!(Client::connect(&endpoint).is_err());
+}

@@ -1,0 +1,137 @@
+//! Robustness contract of the disk store: every degraded state —
+//! truncated document, wrong schema tag, unwritable root — must fall
+//! back to recompute (never panic, never serve garbage), and a healthy
+//! round trip must serve reports identical to the fresh computation.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use netlist::Netlist;
+use rgf2m_fpga::{Pipeline, ReportSource};
+use rgf2m_serve::store::{ArtifactStore, ARTIFACT_SCHEMA};
+
+/// A per-test scratch directory (cleared at entry, so reruns are
+/// deterministic).
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rgf2m-store-test-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn xor_tree(leaves: usize) -> Netlist {
+    let mut net = Netlist::new(format!("xor{leaves}"));
+    let ins: Vec<_> = (0..leaves).map(|i| net.input(format!("x{i}"))).collect();
+    let root = net.xor_balanced(&ins);
+    net.output("y", root);
+    net
+}
+
+/// The single on-disk document a one-design fill produced.
+fn only_entry(store: &ArtifactStore) -> PathBuf {
+    let mut entries: Vec<PathBuf> = fs::read_dir(store.root())
+        .expect("store root readable")
+        .map(|e| e.expect("dir entry").path())
+        .collect();
+    assert_eq!(entries.len(), 1, "expected exactly one document");
+    entries.pop().expect("one entry")
+}
+
+#[test]
+fn round_trip_serves_reports_identical_to_the_fresh_run() {
+    let net = xor_tree(32);
+    let store = Arc::new(ArtifactStore::open(scratch("roundtrip")).unwrap());
+    let cold = Pipeline::new().with_artifact_hook(store.clone());
+    let (fresh, source) = cold.run_report_sourced(&net).unwrap();
+    assert_eq!(source, ReportSource::Computed);
+    assert_eq!(store.stats().writes, 1);
+    // A fresh pipeline over the same store serves from disk, with no
+    // recomputation, and the served report is identical — floats
+    // included (the writer uses shortest round-trip Display).
+    let warm = Pipeline::new().with_artifact_hook(store.clone());
+    let (served, source) = warm.run_report_sourced(&net).unwrap();
+    assert_eq!(source, ReportSource::Store);
+    assert_eq!(served, fresh);
+    assert_eq!(served.time_ns.to_bits(), fresh.time_ns.to_bits());
+    let stats = warm.cache_stats();
+    assert_eq!((stats.store_hits, stats.misses), (1, 0));
+    // The document itself is the schema-tagged artifact format.
+    let text = fs::read_to_string(only_entry(&store)).unwrap();
+    assert!(text.contains(&format!("\"schema\": \"{ARTIFACT_SCHEMA}\"")));
+}
+
+#[test]
+fn truncated_document_degrades_to_recompute_and_heals() {
+    let net = xor_tree(24);
+    let store = Arc::new(ArtifactStore::open(scratch("truncated")).unwrap());
+    let fresh = Pipeline::new()
+        .with_artifact_hook(store.clone())
+        .run_report(&net)
+        .unwrap();
+    let path = only_entry(&store);
+    let text = fs::read_to_string(&path).unwrap();
+    fs::write(&path, &text[..text.len() / 2]).unwrap();
+    // The truncated entry reads as a miss; the flow recomputes...
+    let p = Pipeline::new().with_artifact_hook(store.clone());
+    let (report, source) = p.run_report_sourced(&net).unwrap();
+    assert_eq!(source, ReportSource::Computed);
+    assert_eq!(report, fresh);
+    assert!(store.stats().corrupt >= 1, "{:?}", store.stats());
+    // ...and the refill heals the document for the next process.
+    assert_eq!(fs::read_to_string(&path).unwrap(), text);
+    let healed = Pipeline::new().with_artifact_hook(store.clone());
+    let (_, source) = healed.run_report_sourced(&net).unwrap();
+    assert_eq!(source, ReportSource::Store);
+}
+
+#[test]
+fn wrong_schema_tag_degrades_to_recompute() {
+    let net = xor_tree(24);
+    let store = Arc::new(ArtifactStore::open(scratch("schema")).unwrap());
+    Pipeline::new()
+        .with_artifact_hook(store.clone())
+        .run_report(&net)
+        .unwrap();
+    let path = only_entry(&store);
+    let text = fs::read_to_string(&path).unwrap();
+    fs::write(&path, text.replace(ARTIFACT_SCHEMA, "rgf2m-artifact/999")).unwrap();
+    let p = Pipeline::new().with_artifact_hook(store.clone());
+    let (_, source) = p.run_report_sourced(&net).unwrap();
+    assert_eq!(source, ReportSource::Computed);
+    assert!(store.stats().corrupt >= 1);
+}
+
+#[test]
+fn unwritable_root_never_panics_and_never_blocks_the_flow() {
+    // A path under a regular file can never be created or written —
+    // robust even when tests run as root (chmod tricks are not).
+    let store = Arc::new(ArtifactStore::at("/dev/null/nowhere"));
+    let net = xor_tree(24);
+    let p = Pipeline::new().with_artifact_hook(store.clone());
+    let (report, source) = p.run_report_sourced(&net).unwrap();
+    assert_eq!(source, ReportSource::Computed);
+    assert!(report.luts > 0);
+    let stats = store.stats();
+    assert!(stats.write_errors >= 1, "{stats:?}");
+    assert!(stats.misses >= 1, "{stats:?}");
+    assert_eq!(stats.hits, 0);
+    // Direct saves fail soft too.
+    assert!(!store.save(1, 2, &report));
+}
+
+#[test]
+fn distinct_options_fingerprints_do_not_cross_contaminate() {
+    let net = xor_tree(32);
+    let store = Arc::new(ArtifactStore::open(scratch("keys")).unwrap());
+    let a = Pipeline::new().with_artifact_hook(store.clone());
+    a.run_report(&net).unwrap();
+    // A different placement seed is a different options fingerprint —
+    // the store must miss, recompute, and file a second document.
+    let b = Pipeline::new()
+        .with_place_seed(777)
+        .with_artifact_hook(store.clone());
+    let (_, source) = b.run_report_sourced(&net).unwrap();
+    assert_eq!(source, ReportSource::Computed);
+    assert_eq!(store.stats().writes, 2);
+    assert_eq!(fs::read_dir(store.root()).unwrap().count(), 2);
+}

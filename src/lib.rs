@@ -15,6 +15,7 @@
 //! | **paper's contribution** | [`core`] | S/T algebra, splitting, and the unified six-method Table V registry ([`core::Method`]) |
 //! | extra references | [`baselines`] | schoolbook + Karatsuba structural references |
 //! | FPGA substrate | [`fpga`] | the fallible, cacheable [`fpga::Pipeline`]: resynth → map → verify → pack → place → time |
+//! | serving | [`serve`] | the persistent [`serve::ArtifactStore`] and the `rgf2m-served` daemon + [`serve::Client`] |
 //!
 //! # Quickstart
 //!
@@ -75,6 +76,11 @@
 //! cargo run --release -p rgf2m_bench --bin table5 -- --json table5.json
 //! ```
 //!
+//! Long-lived workloads can run the same jobs through the `rgf2m-served`
+//! daemon (crate [`serve`]): a persistent content-addressed artifact
+//! store plus a concurrent JSON-over-socket server, byte-identical to
+//! the in-process runs — see README "Serving".
+//!
 //! See `examples/` for complete scenarios (Reed-Solomon over the CCSDS
 //! field, NIST B-163 ECDSA field arithmetic, a pentanomial census, and a
 //! synthesis-space explorer), and the `rgf2m-bench` crate for the
@@ -104,6 +110,7 @@ pub use netlist;
 pub use rgf2m_baselines as baselines;
 pub use rgf2m_core as core;
 pub use rgf2m_fpga as fpga;
+pub use rgf2m_serve as serve;
 
 /// The most commonly used items, one `use` away.
 pub mod prelude {
@@ -120,7 +127,9 @@ pub mod prelude {
         ProductTerm, Rashidi, RecoveredField, ReyhaniHasan, SiTi, SplitAtom,
     };
     pub use rgf2m_fpga::{
-        lint_mapped, Device, FlowArtifacts, FlowError, ImplReport, MapMode, MapOptions, Pipeline,
-        PlaceOptions, StaOptions, StaReport, Target, DEFAULT_VERIFY_SEED,
+        lint_mapped, ArtifactHook, CacheStats, Device, FlowArtifacts, FlowError, ImplReport,
+        MapMode, MapOptions, Pipeline, PlaceOptions, ReportSource, StaOptions, StaReport, Target,
+        DEFAULT_VERIFY_SEED,
     };
+    pub use rgf2m_serve::{ArtifactStore, Client, ClientJob, Endpoint, FieldSpec, ServerConfig};
 }
