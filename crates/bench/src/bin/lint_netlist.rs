@@ -10,14 +10,50 @@
 //!   lint_netlist --target NAME      # another fabric (e.g. spartan3)
 //!   lint_netlist --all-targets      # every registered fabric
 //!   lint_netlist --formal           # also run verify_formal{,_mapped}
+//!   lint_netlist --json PATH        # machine-readable findings
+//!                                   # (rgf2m-lint/1)
+//!   lint_netlist --deny-warnings    # treat warnings as failures too
 //!
 //! Exits nonzero if any design has lint *errors* (warnings are
-//! printed but tolerated) or, with `--formal`, if any algebraic
-//! verification fails. This is the CI gate for netlist hygiene.
+//! printed but tolerated unless `--deny-warnings` is given) or, with
+//! `--formal`, if any algebraic verification fails. This is the CI
+//! gate for netlist hygiene.
 
+use netlist::LintReport;
 use rgf2m_bench::{arg_value, field_for, harness_pipeline};
 use rgf2m_core::{gen::generate, multiplier_spec, Method};
 use rgf2m_fpga::{lint_mapped, Target};
+use rgf2m_serve::json::json_string;
+
+/// Renders one lint pass as a `rgf2m-lint/1` record: the design, the
+/// level (`"gate"` or `"mapped:<target>"`) and every finding with its
+/// severity, kebab-case kind, anchor index and message.
+fn json_record(design: &str, level: &str, lint: &LintReport) -> String {
+    let mut s = format!(
+        "    {{\"design\": {}, \"level\": {}, \"errors\": {}, \"warnings\": {}, \"findings\": [",
+        json_string(design),
+        json_string(level),
+        lint.errors(),
+        lint.warnings()
+    );
+    for (i, f) in lint.findings().iter().enumerate() {
+        s.push_str(&format!(
+            "\n      {{\"severity\": {}, \"kind\": {}, \"node\": {}, \"message\": {}}}",
+            json_string(f.severity().name()),
+            json_string(f.kind.name()),
+            f.node,
+            json_string(&f.message)
+        ));
+        if i + 1 < lint.findings().len() {
+            s.push(',');
+        }
+    }
+    if !lint.findings().is_empty() {
+        s.push_str("\n    ");
+    }
+    s.push_str("]}");
+    s
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -44,10 +80,19 @@ fn main() {
             .unwrap_or_else(|| panic!("unknown target {name:?} (see Target::from_name)"))]
     };
     let formal = args.iter().any(|a| a == "--formal");
+    let deny_warnings = args.iter().any(|a| a == "--deny-warnings");
+    let json_path = arg_value(&args, "--json");
 
     let field = field_for(m, n);
     let spec = multiplier_spec(&field);
     let mut failures = 0usize;
+    let mut records: Vec<String> = Vec::new();
+    // With --deny-warnings, warnings count as failures too.
+    let check = |lint: &LintReport, failures: &mut usize| {
+        if lint.has_errors() || (deny_warnings && lint.warnings() > 0) {
+            *failures += 1;
+        }
+    };
 
     println!(
         "linting GF(2^{m}) (n = {n}): {} method(s) x {} target(s){}",
@@ -74,9 +119,8 @@ fn main() {
         for finding in gate_lint.findings() {
             println!("    {finding}");
         }
-        if gate_lint.has_errors() {
-            failures += 1;
-        }
+        check(&gate_lint, &mut failures);
+        records.push(json_record(net.name(), "gate", &gate_lint));
         if formal {
             let pipeline = harness_pipeline();
             match pipeline.verify_formal(&spec, &net) {
@@ -109,9 +153,12 @@ fn main() {
             for finding in mapped_lint.findings() {
                 println!("      {finding}");
             }
-            if mapped_lint.has_errors() {
-                failures += 1;
-            }
+            check(&mapped_lint, &mut failures);
+            records.push(json_record(
+                net.name(),
+                &format!("mapped:{}", target.name()),
+                &mapped_lint,
+            ));
             if formal {
                 match pipeline.verify_formal_mapped(&spec, &artifacts.mapped) {
                     Ok(()) => println!("      formal: mapped netlist matches the spec"),
@@ -123,6 +170,15 @@ fn main() {
             }
         }
         println!();
+    }
+
+    if let Some(path) = json_path {
+        let doc = format!(
+            "{{\n  \"schema\": \"rgf2m-lint/1\",\n  \"m\": {m}, \"n\": {n},\n  \"records\": [\n{}\n  ]\n}}\n",
+            records.join(",\n")
+        );
+        std::fs::write(&path, &doc).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("wrote {path} ({} bytes)", doc.len());
     }
 
     if failures > 0 {

@@ -1,10 +1,11 @@
-//! Schema-validates a `rgf2m-table5/4` JSON artifact (as emitted by
+//! Schema-validates a `rgf2m-table5/5` JSON artifact (as emitted by
 //! `table5 --json PATH` or `crosstarget --json PATH`): schema tag,
 //! non-empty whole six-method blocks in the paper's row order, a
 //! registered target fabric uniform within each block, positive LUTs /
-//! slices / depth / ns plus a positive `and_depth` / `xor_depth` pair
-//! and a non-negative (up to float noise) `worst_slack_ns` on every
-//! row.
+//! slices / depth / ns plus a positive `and_depth` / `xor_depth` pair,
+//! a positive `and_gates` / `xor_gates` pair with a non-negative
+//! `dedup_saved` strash dividend, and a non-negative (up to float
+//! noise) `worst_slack_ns` on every row.
 //!
 //! Usage:
 //!   validate_table5 PATH    # exit 0 and print a summary, or exit 1

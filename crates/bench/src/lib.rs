@@ -6,12 +6,14 @@
 //! from the target registry ([`rgf2m_fpga::Target::ALL`]); this crate
 //! adds the paper's published numbers ([`paper_data`]), the per-field
 //! flow drivers, the parallel [`BatchRunner`] ([`batch`]), the
-//! structured JSON/CSV report writers ([`report`]) and daemon-backed
-//! execution against a running `rgf2m-served` ([`daemon`]).
+//! structured JSON/CSV report writers ([`report`]), daemon-backed
+//! execution against a running `rgf2m-served` ([`daemon`]) and the
+//! unified static-analysis gate ([`audit`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod batch;
 pub mod daemon;
 pub mod paper_data;
@@ -24,6 +26,10 @@ use rgf2m_core::gen::MultiplierGenerator;
 use rgf2m_core::Method;
 use rgf2m_fpga::{ImplReport, Pipeline, PlaceOptions};
 
+pub use audit::{
+    audit_to_json, run_audit, validate_audit_json, AuditCell, AuditCheck, AuditOptions,
+    AuditReport, Fault, AUDIT_SCHEMA,
+};
 pub use batch::{
     cross_target_jobs, job_seed_from, table_v_jobs, table_v_jobs_on, BatchRow, BatchRunner, Job,
 };

@@ -19,23 +19,27 @@ use crate::batch::BatchRow;
 
 pub use rgf2m_serve::json::{parse_json, JsonValue};
 
-/// Schema tag stamped into every Table V JSON export. `/4` added the
-/// per-row `and_depth` / `xor_depth` gate-depth pair (the source
-/// netlist's Table V delay claim) and the STA's `worst_slack_ns`;
-/// `/3` added the per-row `dup_gates` / `dead_nodes` hygiene counters
-/// (from the post-mapping lint pass); `/2` added the per-row `target`
-/// field. Older documents, which lack those fields, no longer validate.
-pub const TABLE5_SCHEMA: &str = "rgf2m-table5/4";
+/// Schema tag stamped into every Table V JSON export. `/5` added the
+/// per-row `and_gates` / `xor_gates` area pair (the source netlist's
+/// Table V `#AND`/`#XOR` claim) and the `dedup_saved` strash dividend;
+/// `/4` added the per-row `and_depth` / `xor_depth` gate-depth pair
+/// (the source netlist's Table V delay claim) and the STA's
+/// `worst_slack_ns`; `/3` added the per-row `dup_gates` / `dead_nodes`
+/// hygiene counters (from the post-mapping lint pass); `/2` added the
+/// per-row `target` field. Older documents, which lack those fields,
+/// no longer validate.
+pub const TABLE5_SCHEMA: &str = "rgf2m-table5/5";
 
 /// Schema tag stamped into every `bench_map` mapper-performance
 /// artifact and checked by [`validate_bench_map_json`].
 pub const BENCH_MAP_SCHEMA: &str = "rgf2m-bench-map/1";
 
-/// Serializes batch rows as the `rgf2m-table5/4` JSON document.
+/// Serializes batch rows as the `rgf2m-table5/5` JSON document.
 ///
 /// Successful rows carry the measured quadruple plus the paper's
 /// `area_time` metric, the lint pass's hygiene counters, the source
-/// netlist's gate-depth pair and the STA's worst slack; failed rows
+/// netlist's gate-depth and gate-count pairs (with the strash
+/// `dedup_saved` dividend) and the STA's worst slack; failed rows
 /// carry `"ok": false` and the error message. Every row names its
 /// target fabric. Byte-identical for identical inputs.
 pub fn rows_to_json(rows: &[BatchRow], base_seed: u64) -> String {
@@ -60,7 +64,9 @@ pub fn rows_to_json(rows: &[BatchRow], base_seed: u64) -> String {
                 ", \"ok\": true, \"luts\": {}, \"slices\": {}, \"depth\": {}, \
                  \"time_ns\": {:.4}, \"area_time\": {:.4}, \
                  \"dup_gates\": {}, \"dead_nodes\": {}, \
-                 \"and_depth\": {}, \"xor_depth\": {}, \"worst_slack_ns\": {:.4}",
+                 \"and_depth\": {}, \"xor_depth\": {}, \
+                 \"and_gates\": {}, \"xor_gates\": {}, \"dedup_saved\": {}, \
+                 \"worst_slack_ns\": {:.4}",
                 r.luts,
                 r.slices,
                 r.depth,
@@ -70,6 +76,9 @@ pub fn rows_to_json(rows: &[BatchRow], base_seed: u64) -> String {
                 r.dead_nodes,
                 r.and_depth,
                 r.xor_depth,
+                r.and_gates,
+                r.xor_gates,
+                r.dedup_saved,
                 r.worst_slack_ns
             )),
             Err(e) => s.push_str(&format!(
@@ -91,12 +100,12 @@ pub fn rows_to_json(rows: &[BatchRow], base_seed: u64) -> String {
 /// the trailing column). Byte-identical for identical inputs.
 pub fn rows_to_csv(rows: &[BatchRow]) -> String {
     let mut s = String::from(
-        "m,n,method,citation,target,seed,ok,luts,slices,depth,time_ns,area_time,dup_gates,dead_nodes,and_depth,xor_depth,worst_slack_ns,error\n",
+        "m,n,method,citation,target,seed,ok,luts,slices,depth,time_ns,area_time,dup_gates,dead_nodes,and_depth,xor_depth,and_gates,xor_gates,dedup_saved,worst_slack_ns,error\n",
     );
     for row in rows {
         match &row.result {
             Ok(r) => s.push_str(&format!(
-                "{},{},{},{},{},{},true,{},{},{},{:.4},{:.4},{},{},{},{},{:.4},\n",
+                "{},{},{},{},{},{},true,{},{},{},{:.4},{:.4},{},{},{},{},{},{},{},{:.4},\n",
                 row.job.m,
                 row.job.n,
                 row.job.method.name(),
@@ -112,10 +121,13 @@ pub fn rows_to_csv(rows: &[BatchRow]) -> String {
                 r.dead_nodes,
                 r.and_depth,
                 r.xor_depth,
+                r.and_gates,
+                r.xor_gates,
+                r.dedup_saved,
                 r.worst_slack_ns
             )),
             Err(e) => s.push_str(&format!(
-                "{},{},{},{},{},{},false,,,,,,,,,,,{}\n",
+                "{},{},{},{},{},{},false,,,,,,,,,,,,,,{}\n",
                 row.job.m,
                 row.job.n,
                 row.job.method.name(),
@@ -142,17 +154,19 @@ fn csv_field(s: &str) -> String {
 // Schema validation for the table5 artifact.
 // ---------------------------------------------------------------------
 
-/// Validates a `rgf2m-table5/4` JSON document: schema tag, non-empty
+/// Validates a `rgf2m-table5/5` JSON document: schema tag, non-empty
 /// row set, whole six-method blocks in the paper's row order, every
 /// row naming a registered target fabric and `ok` with positive LUTs /
 /// slices / depth / time, non-negative `dup_gates` / `dead_nodes`
 /// hygiene counters, a positive `and_depth` / `xor_depth` gate-depth
 /// pair (a bit-parallel multiplier always has exactly one AND level and
-/// at least one XOR level), and a `worst_slack_ns` that is not
-/// meaningfully negative (the STA's default target is the critical
-/// delay itself, so slack must be ~0 up to float noise). Within each
-/// six-method block the target must be uniform (one block = one field
-/// on one fabric). Returns a short human-readable summary on success.
+/// at least one XOR level), a positive `and_gates` / `xor_gates` area
+/// pair with a non-negative `dedup_saved` strash dividend, and a
+/// `worst_slack_ns` that is not meaningfully negative (the STA's
+/// default target is the critical delay itself, so slack must be ~0 up
+/// to float noise). Within each six-method block the target must be
+/// uniform (one block = one field on one fabric). Returns a short
+/// human-readable summary on success.
 pub fn validate_table5_json(text: &str) -> Result<String, String> {
     let doc = parse_json(text)?;
     let schema = doc
@@ -257,6 +271,26 @@ pub fn validate_table5_json(text: &str) -> Result<String, String> {
             if v <= 0.0 {
                 return Err(format!("row {i}: {field} = {v} is not positive"));
             }
+        }
+        // `/5`: the source netlist's gate-count pair (the Table V
+        // area claim) and the strash dividend — a multiplier always
+        // has partial-product ANDs and XOR trees, while `dedup_saved`
+        // is 0 for every hash-consed generator but stays a counter.
+        for field in ["and_gates", "xor_gates"] {
+            let v = row
+                .get(field)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| ctx(&format!("missing numeric \"{field}\"")))?;
+            if v <= 0.0 {
+                return Err(format!("row {i}: {field} = {v} is not positive"));
+            }
+        }
+        let saved = row
+            .get("dedup_saved")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| ctx("missing numeric \"dedup_saved\""))?;
+        if saved < 0.0 {
+            return Err(format!("row {i}: dedup_saved = {saved} is negative"));
         }
         // `/4`: worst slack at the STA's default target (the critical
         // delay itself) — anything beyond float noise below zero means
@@ -447,6 +481,7 @@ mod tests {
         assert!(validate_table5_json(r#"{"schema": "rgf2m-table5/1", "rows": []}"#).is_err());
         assert!(validate_table5_json(r#"{"schema": "rgf2m-table5/2", "rows": []}"#).is_err());
         assert!(validate_table5_json(r#"{"schema": "rgf2m-table5/3", "rows": []}"#).is_err());
+        assert!(validate_table5_json(r#"{"schema": "rgf2m-table5/4", "rows": []}"#).is_err());
         let empty = format!(r#"{{"schema": "{TABLE5_SCHEMA}", "rows": []}}"#);
         assert!(validate_table5_json(&empty).is_err());
         // `/3` requires the hygiene counters on every ok row.
@@ -464,6 +499,19 @@ mod tests {
         assert!(validate_table5_json(&no_slack)
             .unwrap_err()
             .contains("worst_slack_ns"));
+        // `/5` requires the gate-count pair and the strash dividend.
+        let no_area = block_doc(|_| "artix7").replace(", \"and_gates\": 64", "");
+        assert!(validate_table5_json(&no_area)
+            .unwrap_err()
+            .contains("and_gates"));
+        let no_saved = block_doc(|_| "artix7").replace(", \"dedup_saved\": 0", "");
+        assert!(validate_table5_json(&no_saved)
+            .unwrap_err()
+            .contains("dedup_saved"));
+        let zero_area = block_doc(|_| "artix7").replace("\"xor_gates\": 84", "\"xor_gates\": 0");
+        assert!(validate_table5_json(&zero_area)
+            .unwrap_err()
+            .contains("not positive"));
         // A meaningfully negative slack means the STA is inconsistent.
         let bad_slack = block_doc(|_| "artix7")
             .replace("\"worst_slack_ns\": 0.0000", "\"worst_slack_ns\": -0.5");
@@ -489,7 +537,8 @@ mod tests {
                      \"target\": {}, \"seed\": 1, \"ok\": true, \"luts\": 33, \
                      \"slices\": 11, \"depth\": 3, \"time_ns\": 9.7, \"area_time\": 320.1, \
                      \"dup_gates\": 0, \"dead_nodes\": 0, \"and_depth\": 1, \
-                     \"xor_depth\": 5, \"worst_slack_ns\": 0.0000}}",
+                     \"xor_depth\": 5, \"and_gates\": 64, \"xor_gates\": 84, \
+                     \"dedup_saved\": 0, \"worst_slack_ns\": 0.0000}}",
                     json_string(m.name()),
                     json_string(m.citation()),
                     json_string(target_of(i)),

@@ -44,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod area;
 pub mod coeffs;
 pub mod gen;
 pub mod linear;
@@ -53,6 +54,7 @@ pub mod spec;
 pub mod split;
 pub mod terms;
 
+pub use area::area_spec;
 pub use coeffs::{CoefficientTable, FlatCoefficientTable};
 pub use gen::{
     coefficient_support, generate, Imana2012, Imana2016, MastrovitoPaar, Method,

@@ -40,8 +40,10 @@
 //!    no sampling, LUT cones expanded via [`lut::Truth::anf`]), a
 //!    structural lint pass ([`lint::lint_mapped`]) that gates every
 //!    verify and feeds the `ImplReport` hygiene counters, and a static
-//!    depth certificate ([`Pipeline::verify_depth`]) that proves a
-//!    generated netlist meets its claimed Table V gate-depth formula.
+//!    depth certificate ([`Pipeline::verify_depth`]) and area
+//!    certificate ([`Pipeline::verify_area`]) that prove a generated
+//!    netlist meets its claimed Table V gate-depth formula and
+//!    `#AND`/`#XOR` gate counts.
 //!
 //! The historical `FpgaFlow` facade (panicking, uncached) is gone; see
 //! the repository README's "Upgrading" section for the one-line

@@ -18,10 +18,46 @@ use netlist::lint::{LintKind, LintReport};
 use crate::lut::{LutAnalysis, LutNetlist, Signal, Truth};
 
 /// Lints a mapped LUT netlist.
+///
+/// Every LUT-anchored finding carries the name of the output cone the
+/// LUT belongs to (the first declared output whose transitive fanin
+/// contains it), so a `LUT 17` message can be traced back to a
+/// coefficient bit without replaying the mapper.
 pub fn lint_mapped(mapped: &LutNetlist) -> LintReport {
     let mut report = LintReport::new();
     let luts = mapped.luts();
     let n_inputs = mapped.input_names().len();
+
+    // Owning cone per LUT: the first declared output that reaches it.
+    // The walk is defensive — out-of-range and forward references (the
+    // very defects linted below) are skipped, and the visited check
+    // terminates even on reference cycles.
+    let mut cone: Vec<Option<usize>> = vec![None; luts.len()];
+    for (k, (_, s)) in mapped.outputs().iter().enumerate() {
+        let mut stack = match *s {
+            Signal::Lut(j) if (j as usize) < luts.len() => vec![j as usize],
+            _ => continue,
+        };
+        while let Some(i) = stack.pop() {
+            if cone[i].is_some() {
+                continue;
+            }
+            cone[i] = Some(k);
+            for s in &luts[i].inputs {
+                if let Signal::Lut(j) = *s {
+                    if (j as usize) < luts.len() {
+                        stack.push(j as usize);
+                    }
+                }
+            }
+        }
+    }
+    let cone_of = |i: usize| -> String {
+        match cone[i] {
+            Some(k) => format!(" (cone of {})", mapped.outputs()[k].0),
+            None => String::new(),
+        }
+    };
 
     // Signal validity + topological order, per LUT input.
     let mut invalid = vec![false; luts.len()];
@@ -34,7 +70,8 @@ pub fn lint_mapped(mapped: &LutNetlist) -> LintReport {
                         LintKind::UndrivenInput,
                         i,
                         format!(
-                            "LUT {i} input {slot} reads primary input {v}, but only {n_inputs} are declared"
+                            "LUT {i} input {slot} reads primary input {v}, but only {n_inputs} are declared{}",
+                            cone_of(i)
                         ),
                     );
                 }
@@ -43,7 +80,10 @@ pub fn lint_mapped(mapped: &LutNetlist) -> LintReport {
                     report.push(
                         LintKind::UndrivenInput,
                         i,
-                        format!("LUT {i} input {slot} reads LUT {j}, which does not exist"),
+                        format!(
+                            "LUT {i} input {slot} reads LUT {j}, which does not exist{}",
+                            cone_of(i)
+                        ),
                     );
                 }
                 Signal::Lut(j) if j as usize >= i => {
@@ -51,7 +91,10 @@ pub fn lint_mapped(mapped: &LutNetlist) -> LintReport {
                     report.push(
                         LintKind::CombinationalCycle,
                         i,
-                        format!("LUT {i} input {slot} reads LUT {j}, which does not precede it"),
+                        format!(
+                            "LUT {i} input {slot} reads LUT {j}, which does not precede it{}",
+                            cone_of(i)
+                        ),
                     );
                 }
                 _ => {}
@@ -140,7 +183,10 @@ pub fn lint_mapped(mapped: &LutNetlist) -> LintReport {
             report.push(
                 LintKind::DeadNode,
                 i,
-                format!("LUT {i} drives neither a LUT input nor a primary output"),
+                format!(
+                    "LUT {i} drives neither a LUT input nor a primary output{}",
+                    cone_of(i)
+                ),
             );
         }
     }
@@ -153,7 +199,10 @@ pub fn lint_mapped(mapped: &LutNetlist) -> LintReport {
             Some(&first) => report.push(
                 LintKind::DuplicateGate,
                 i,
-                format!("LUT {i} has the same inputs and truth table as LUT {first}"),
+                format!(
+                    "LUT {i} has the same inputs and truth table as LUT {first}{}",
+                    cone_of(i)
+                ),
             ),
             None => {
                 seen.insert(key, i);
@@ -173,7 +222,10 @@ pub fn lint_mapped(mapped: &LutNetlist) -> LintReport {
                 report.push(
                     LintKind::IgnoredLutInput,
                     i,
-                    format!("LUT {i} truth table ignores connected input {v}"),
+                    format!(
+                        "LUT {i} truth table ignores connected input {v}{}",
+                        cone_of(i)
+                    ),
                 );
             }
         }
@@ -285,6 +337,46 @@ mod tests {
         n.push_output("y".into(), Signal::Lut(l0));
         let report = lint_mapped(&n);
         assert_eq!(report.count(LintKind::IgnoredLutInput), 1);
+    }
+
+    #[test]
+    fn lut_findings_name_their_output_cone() {
+        let mut n = fresh(4, 2);
+        let and = Lut {
+            inputs: vec![Signal::Input(0), Signal::Input(1)],
+            truth: Truth::of(0b1000),
+        };
+        let l0 = n.push_lut(and.clone());
+        let l1 = n.push_lut(and); // duplicate of l0, but drives c1
+        n.push_output("c0".into(), Signal::Lut(l0));
+        n.push_output("c1".into(), Signal::Lut(l1));
+        let report = lint_mapped(&n);
+        let dup = report
+            .findings()
+            .iter()
+            .find(|f| f.kind == LintKind::DuplicateGate)
+            .unwrap();
+        assert!(dup.message.contains("LUT 1"), "{}", dup.message);
+        assert!(dup.message.contains("(cone of c1)"), "{}", dup.message);
+
+        // A dead LUT belongs to no cone: its finding stays unlabelled.
+        let mut n = fresh(4, 1);
+        let l0 = n.push_lut(Lut {
+            inputs: vec![Signal::Input(0)],
+            truth: Truth::of(0b10),
+        });
+        n.push_lut(Lut {
+            inputs: vec![Signal::Input(0)],
+            truth: Truth::of(0b01),
+        });
+        n.push_output("y".into(), Signal::Lut(l0));
+        let report = lint_mapped(&n);
+        let dead = report
+            .findings()
+            .iter()
+            .find(|f| f.kind == LintKind::DeadNode)
+            .unwrap();
+        assert!(!dead.message.contains("cone of"), "{}", dead.message);
     }
 
     #[test]

@@ -116,6 +116,16 @@ pub struct ImplReport {
     pub and_depth: u32,
     /// XOR depth (`T_X` levels) of the *source* gate netlist.
     pub xor_depth: u32,
+    /// AND gates in the *source* gate netlist — the paper's Table V
+    /// `#AND` area claim, measured before resynthesis/mapping.
+    pub and_gates: usize,
+    /// XOR gates in the *source* gate netlist (`#XOR` in Table V).
+    pub xor_gates: usize,
+    /// Gates the structural-hashing rewrite
+    /// ([`netlist::strash_dedup`]) would remove from the source
+    /// netlist — `0` certifies it carries no transitively duplicated
+    /// cones beyond what hash-consing already shares.
+    pub dedup_saved: usize,
 }
 
 impl ImplReport {
@@ -223,6 +233,21 @@ pub enum FlowError {
         /// The bound it was required to meet.
         bound: netlist::Depth,
     },
+    /// The static area certificate ([`Pipeline::verify_area`]) found
+    /// more gates of one kind than the bound claimed for the design —
+    /// e.g. the Table V `#AND`/`#XOR` formula from
+    /// `rgf2m_core::area_spec`. Like [`FlowError::DepthExceeded`],
+    /// this is a static proof over the whole netlist, not a sample.
+    AreaExceeded {
+        /// The design name.
+        design: String,
+        /// The gate kind over its bound.
+        kind: netlist::GateKind,
+        /// Gates of that kind in the netlist.
+        got: usize,
+        /// The bound it was required to meet.
+        bound: usize,
+    },
     /// The structural lint pass found hard errors (combinational
     /// cycles, undriven signals) — the netlist is not a valid
     /// combinational design, so no verification was attempted.
@@ -287,6 +312,16 @@ impl fmt::Display for FlowError {
                 f,
                 "depth certificate of {design} failed at output bit {output_bit}: \
                  depth {got} exceeds the claimed bound {bound}"
+            ),
+            FlowError::AreaExceeded {
+                design,
+                kind,
+                got,
+                bound,
+            } => write!(
+                f,
+                "area certificate of {design} failed: {got} {kind} gate(s) exceed \
+                 the claimed bound {bound}"
             ),
             FlowError::LintErrors {
                 design,
@@ -741,6 +776,29 @@ impl Pipeline {
         })
     }
 
+    /// Static area certificate: requires the *gate-level* netlist to
+    /// hold no more AND / XOR gates than the per-kind bounds claimed
+    /// for it.
+    ///
+    /// The spec is typically `rgf2m_core::area_spec`'s replay of the
+    /// paper's Table V `#AND`/`#XOR` formulas for a method × field
+    /// pair, making this the area counterpart of
+    /// [`Pipeline::verify_depth`]: a pass proves the generator emitted
+    /// no gate beyond the formula, a failure is
+    /// [`FlowError::AreaExceeded`] naming the offending gate kind.
+    /// The check is `≤` per kind, so rewrites that *shrink* a design
+    /// below its formula keep passing; the specs themselves are exact,
+    /// so any spurious gate fails the certificate.
+    pub fn verify_area(&self, spec: &netlist::AreaSpec, net: &Netlist) -> Result<(), FlowError> {
+        self.validate()?;
+        netlist::check_area(net, spec).map_err(|e| FlowError::AreaExceeded {
+            design: net.name().to_string(),
+            kind: e.kind,
+            got: e.got,
+            bound: e.bound,
+        })
+    }
+
     /// [`Pipeline::verify_formal`] for a mapped netlist: LUT cones are
     /// expanded through the algebraic normal form of their truth
     /// tables ([`crate::lut::Truth::anf`]), so the certificate covers
@@ -921,6 +979,12 @@ impl Pipeline {
                     ands: w.ands.max(d.ands),
                     xors: w.xors.max(d.xors),
                 });
+        // Source-netlist area (the Table V #AND/#XOR claim) and the
+        // structural-hashing dividend: gates a strash rewrite would
+        // reclaim (0 for every hash-consed generator — a positive
+        // sharing certificate carried into the report).
+        let gate_stats = net.stats();
+        let (_, dedup_saved) = netlist::strash_dedup(net);
         let report = ImplReport {
             name: net.name().to_string(),
             luts: mapped.num_luts(),
@@ -932,6 +996,9 @@ impl Pipeline {
             worst_slack_ns: timing.worst_slack_ns,
             and_depth: gate_depth.ands,
             xor_depth: gate_depth.xors,
+            and_gates: gate_stats.ands,
+            xor_gates: gate_stats.xors,
+            dedup_saved,
         };
         let artifacts = Arc::new(FlowArtifacts {
             mapped,
@@ -1485,6 +1552,16 @@ mod tests {
         assert!(text.contains("output bit 4"), "{text}");
         assert!(text.contains("TA + 9TX"), "{text}");
         assert!(text.contains("bound TA + 5TX"), "{text}");
+        let e = FlowError::AreaExceeded {
+            design: "d".into(),
+            kind: netlist::GateKind::Xor,
+            got: 78,
+            bound: 76,
+        };
+        let text = e.to_string();
+        assert!(text.contains("area certificate of d"), "{text}");
+        assert!(text.contains("78 XOR gate(s)"), "{text}");
+        assert!(text.contains("bound 76"), "{text}");
     }
 
     #[test]
@@ -1517,6 +1594,28 @@ mod tests {
             p.verify_depth(&short, &net),
             Err(FlowError::VerificationMismatch { rounds: 0, .. })
         ));
+    }
+
+    #[test]
+    fn verify_area_certifies_and_rejects() {
+        let net = xor_tree(8); // 7 XOR gates, 0 ANDs
+        let p = Pipeline::new();
+        p.verify_area(&netlist::AreaSpec::new(0, 7), &net).unwrap();
+        // Slack above the bound still passes (the check is ≤).
+        p.verify_area(&netlist::AreaSpec::new(1, 9), &net).unwrap();
+        match p.verify_area(&netlist::AreaSpec::new(0, 6), &net) {
+            Err(FlowError::AreaExceeded {
+                design,
+                kind,
+                got,
+                bound,
+            }) => {
+                assert_eq!(design, "xor8");
+                assert_eq!(kind, netlist::GateKind::Xor);
+                assert_eq!((got, bound), (7, 6));
+            }
+            other => panic!("expected AreaExceeded, got {other:?}"),
+        }
     }
 
     /// An in-memory [`ArtifactHook`] for tests: a HashMap-backed store
@@ -1650,5 +1749,9 @@ mod tests {
             report.worst_slack_ns
         );
         assert!(report.to_string().contains("gate depth 4TX"), "{report}");
+        // Source-netlist area and the strash dividend ride along: a
+        // hash-consed tree has nothing left for strash to reclaim.
+        assert_eq!((report.and_gates, report.xor_gates), (0, 15));
+        assert_eq!(report.dedup_saved, 0);
     }
 }

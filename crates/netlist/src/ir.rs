@@ -201,6 +201,27 @@ impl Netlist {
         root
     }
 
+    /// Appends `gate` verbatim, bypassing hash-consing, operand
+    /// normalization and constant folding — the raw construction
+    /// surface for netlist imports and for fault-injection tests
+    /// (e.g. planting a redundant gate the lint and strash passes must
+    /// catch). The gate is not registered for deduplication, so later
+    /// [`Netlist::and`]/[`Netlist::xor`] calls will not alias it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an AND/XOR operand does not precede the new node (the
+    /// topological-order invariant every analysis pass relies on).
+    pub fn push_raw(&mut self, gate: Gate) -> NodeId {
+        if let Gate::And(a, b) | Gate::Xor(a, b) = gate {
+            assert!(
+                a.index() < self.gates.len() && b.index() < self.gates.len(),
+                "push_raw operands must reference existing nodes"
+            );
+        }
+        self.push(gate)
+    }
+
     /// Marks `node` as a primary output under `name`.
     pub fn output(&mut self, name: impl Into<String>, node: NodeId) {
         self.outputs.push((name.into(), node));
@@ -619,6 +640,28 @@ mod tests {
         let y = renamed.xor(ab, c);
         renamed.output("z", y);
         assert_ne!(base, renamed.content_hash());
+    }
+
+    #[test]
+    fn push_raw_bypasses_hash_consing() {
+        let mut net = Netlist::new("raw");
+        let a = net.input("a");
+        let b = net.input("b");
+        let g = net.and(a, b);
+        let dup = net.push_raw(Gate::And(a, b));
+        assert_ne!(g, dup, "raw pushes must not alias interned gates");
+        assert_eq!(net.gate(dup), Gate::And(a, b));
+        // And the interner still does not know about the raw node.
+        assert_eq!(net.and(a, b), g);
+        assert_eq!(net.stats().ands, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "existing nodes")]
+    fn push_raw_rejects_forward_references() {
+        let mut net = Netlist::new("raw");
+        let a = net.input("a");
+        let _ = net.push_raw(Gate::And(a, NodeId(7)));
     }
 
     #[test]

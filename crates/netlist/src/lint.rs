@@ -85,6 +85,16 @@ pub enum LintKind {
     /// An XOR tree deeper than the balanced `⌈log2(fanin)⌉` optimum —
     /// it burns delay the paper's Table V formulas say is unnecessary.
     UnbalancedXorTree,
+    /// A gate whose whole cone is structurally identical to an earlier
+    /// node's (same canonical strash class) even though its raw
+    /// `(op, lhs, rhs)` triple is unique — a *transitive* duplicate the
+    /// pairwise [`LintKind::DuplicateGate`] check cannot see.
+    RedundantCone,
+    /// Two same-operation trees over the identical leaf multiset but
+    /// with different shapes — they compute the same function, yet no
+    /// structural pass can merge them, so sharing was missed at
+    /// construction time.
+    MissedSharing,
 }
 
 impl LintKind {
@@ -97,7 +107,9 @@ impl LintKind {
             LintKind::DeadNode
             | LintKind::DuplicateGate
             | LintKind::IgnoredLutInput
-            | LintKind::UnbalancedXorTree => Severity::Warning,
+            | LintKind::UnbalancedXorTree
+            | LintKind::RedundantCone
+            | LintKind::MissedSharing => Severity::Warning,
         }
     }
 
@@ -111,6 +123,8 @@ impl LintKind {
             LintKind::DuplicateGate => "duplicate-gate",
             LintKind::IgnoredLutInput => "ignored-lut-input",
             LintKind::UnbalancedXorTree => "unbalanced-xor-tree",
+            LintKind::RedundantCone => "redundant-cone",
+            LintKind::MissedSharing => "missed-sharing",
         }
     }
 }
@@ -340,6 +354,7 @@ pub fn lint_netlist(net: &Netlist) -> LintReport {
 
     // Duplicate gates: same op, same input set. AND/XOR are both
     // commutative, so operand order is normalized before comparing.
+    let mut raw_dup = vec![false; net.len()];
     let mut seen: HashMap<(bool, u32, u32), usize> = HashMap::new();
     for id in net.node_ids() {
         let key = match net.gate(id) {
@@ -356,15 +371,18 @@ pub fn lint_netlist(net: &Netlist) -> LintReport {
             _ => continue,
         };
         match seen.get(&key) {
-            Some(&first) => report.push(
-                LintKind::DuplicateGate,
-                id.index(),
-                format!(
-                    "node {} computes the same {} over the same inputs as node {first}",
+            Some(&first) => {
+                raw_dup[id.index()] = true;
+                report.push(
+                    LintKind::DuplicateGate,
                     id.index(),
-                    if key.0 { "AND" } else { "XOR" },
-                ),
-            ),
+                    format!(
+                        "node {} computes the same {} over the same inputs as node {first}",
+                        id.index(),
+                        if key.0 { "AND" } else { "XOR" },
+                    ),
+                );
+            }
             None => {
                 seen.insert(key, id.index());
             }
@@ -432,6 +450,112 @@ pub fn lint_netlist(net: &Netlist) -> LintReport {
                     optimum
                 ),
             );
+        }
+    }
+
+    // Redundant cones: two gates in the same canonical strash class
+    // compute structurally identical cones. A raw pairwise duplicate is
+    // already reported above; what remains here are *transitive*
+    // duplicates, whose raw (op, lhs, rhs) triples differ because their
+    // operands are themselves duplicated cones.
+    let classes = crate::census::strash_classes(net);
+    let mut class_rep: HashMap<u64, usize> = HashMap::new();
+    for id in net.node_ids() {
+        let op = match net.gate(id) {
+            Gate::And(_, _) => "AND",
+            Gate::Xor(_, _) => "XOR",
+            Gate::Input(_) | Gate::Const(_) => continue,
+        };
+        match class_rep.get(&classes[id.index()]) {
+            Some(&first) => {
+                if !raw_dup[id.index()] {
+                    report.push(
+                        LintKind::RedundantCone,
+                        id.index(),
+                        format!(
+                            "node {} rebuilds the same {op} cone as node {first} \
+                             (transitive duplicate beyond pairwise matching)",
+                            id.index(),
+                        ),
+                    );
+                }
+            }
+            None => {
+                class_rep.insert(classes[id.index()], id.index());
+            }
+        }
+    }
+
+    // Missed sharing: two same-op trees over the identical canonical
+    // leaf multiset, but in *different* canonical classes — same
+    // function (XOR/AND are associative and commutative), different
+    // shape, so no structural pass can merge them. Clusters are maximal
+    // same-op trees, extracted exactly like the XOR clusters above; a
+    // 2-leaf cluster's class is determined by its leaves, so the two
+    // checks never overlap.
+    for want_and in [false, true] {
+        let mut op_reads = vec![0usize; net.len()];
+        for id in net.node_ids() {
+            let same_op = match net.gate(id) {
+                Gate::And(a, b) if want_and => Some((a, b)),
+                Gate::Xor(a, b) if !want_and => Some((a, b)),
+                _ => None,
+            };
+            if let Some((a, b)) = same_op {
+                if a < id {
+                    op_reads[a.index()] += 1;
+                }
+                if b < id {
+                    op_reads[b.index()] += 1;
+                }
+            }
+        }
+        let is_op = |n: NodeId| match net.gate(n) {
+            Gate::And(_, _) => want_and,
+            Gate::Xor(_, _) => !want_and,
+            _ => false,
+        };
+        let interior =
+            |n: NodeId| is_op(n) && analysis.fanouts[n.index()] == 1 && op_reads[n.index()] == 1;
+        // signature (sorted canonical leaf keys) → first root per class.
+        let mut sigs: HashMap<Vec<u64>, Vec<(u64, usize)>> = HashMap::new();
+        for id in net.node_ids() {
+            if !is_op(id) || interior(id) {
+                continue;
+            }
+            let mut leaf_keys: Vec<u64> = Vec::new();
+            let mut stack = vec![id];
+            while let Some(n) = stack.pop() {
+                if let Gate::And(a, b) | Gate::Xor(a, b) = net.gate(n) {
+                    for op in [a, b] {
+                        if op < n && interior(op) {
+                            stack.push(op);
+                        } else {
+                            leaf_keys.push(classes[op.index()]);
+                        }
+                    }
+                }
+            }
+            leaf_keys.sort_unstable();
+            let entry = sigs.entry(leaf_keys).or_default();
+            let class = classes[id.index()];
+            if let Some(&(_, first)) = entry.iter().find(|&&(c, _)| c != class) {
+                if !entry.iter().any(|&(c, _)| c == class) {
+                    report.push(
+                        LintKind::MissedSharing,
+                        id.index(),
+                        format!(
+                            "{} tree rooted at node {} computes the same function as the \
+                             tree at node {first}, with a different structure",
+                            if want_and { "AND" } else { "XOR" },
+                            id.index(),
+                        ),
+                    );
+                }
+            }
+            if !entry.iter().any(|&(c, _)| c == class) {
+                entry.push((class, id.index()));
+            }
         }
     }
 
@@ -524,9 +648,84 @@ mod tests {
         assert_eq!(LintKind::DuplicateGate.severity(), Severity::Warning);
         assert_eq!(LintKind::IgnoredLutInput.severity(), Severity::Warning);
         assert_eq!(LintKind::UnbalancedXorTree.severity(), Severity::Warning);
+        assert_eq!(LintKind::RedundantCone.severity(), Severity::Warning);
+        assert_eq!(LintKind::MissedSharing.severity(), Severity::Warning);
         assert_eq!(LintKind::IgnoredLutInput.name(), "ignored-lut-input");
         assert_eq!(LintKind::UnbalancedXorTree.name(), "unbalanced-xor-tree");
+        assert_eq!(LintKind::RedundantCone.name(), "redundant-cone");
+        assert_eq!(LintKind::MissedSharing.name(), "missed-sharing");
         assert_eq!(Severity::Error.to_string(), "error");
+    }
+
+    #[test]
+    fn transitive_duplicate_cone_is_flagged() {
+        // Two copies of (a&b)^c as distinct chains: the AND pair is a
+        // raw duplicate, the XOR pair reads *different* operand ids and
+        // only the canonical strash class exposes it.
+        let mut net = Netlist::new("imported");
+        let a = net.input("a");
+        let b = net.input("b");
+        let c = net.input("c");
+        let ab1 = net.push_raw(Gate::And(a, b));
+        let ab2 = net.push_raw(Gate::And(a, b));
+        let y1 = net.push_raw(Gate::Xor(ab1, c));
+        let y2 = net.push_raw(Gate::Xor(ab2, c));
+        net.output("y1", y1);
+        net.output("y2", y2);
+        let report = lint_netlist(&net);
+        assert!(!report.has_errors());
+        assert_eq!(report.count(LintKind::DuplicateGate), 1);
+        assert_eq!(report.count(LintKind::RedundantCone), 1);
+        let f = report
+            .findings()
+            .iter()
+            .find(|f| f.kind == LintKind::RedundantCone)
+            .unwrap();
+        assert_eq!(f.node, y2.index());
+        assert!(f.message.contains("XOR cone"), "{f}");
+        assert!(f.message.contains(&format!("node {}", y1.index())), "{f}");
+    }
+
+    #[test]
+    fn shape_divergent_equal_trees_are_flagged_as_missed_sharing() {
+        // t1 = (a^b)^(c^d) and t2 = (((a^b)^c)^d): the same XOR over
+        // the same leaves in two shapes — constructible through the
+        // hash-consing API because no single gate repeats.
+        let mut net = Netlist::new("shapes");
+        let a = net.input("a");
+        let b = net.input("b");
+        let c = net.input("c");
+        let d = net.input("d");
+        let ab = net.xor(a, b);
+        let cd = net.xor(c, d);
+        let t1 = net.xor(ab, cd);
+        let abc = net.xor(ab, c);
+        let t2 = net.xor(abc, d);
+        net.output("y1", t1);
+        net.output("y2", t2);
+        let report = lint_netlist(&net);
+        assert!(!report.has_errors());
+        assert_eq!(report.count(LintKind::MissedSharing), 1, "{report}");
+        assert_eq!(report.count(LintKind::RedundantCone), 0);
+        assert_eq!(report.count(LintKind::DuplicateGate), 0);
+        let f = &report.findings()[0];
+        assert_eq!(f.node, t2.index());
+        assert!(f.message.contains("XOR tree"), "{f}");
+        assert!(f.message.contains(&format!("node {}", t1.index())), "{f}");
+    }
+
+    #[test]
+    fn distinct_functions_do_not_trip_the_sharing_check() {
+        // Same leaf count, different leaf sets: clean.
+        let mut net = Netlist::new("distinct");
+        let xs: Vec<_> = (0..6).map(|i| net.input(format!("x{i}"))).collect();
+        let t1 = net.xor_balanced(&xs[0..3]);
+        let t2 = net.xor_chain(&xs[3..6]);
+        net.output("y1", t1);
+        net.output("y2", t2);
+        let report = lint_netlist(&net);
+        assert_eq!(report.count(LintKind::MissedSharing), 0, "{report}");
+        assert_eq!(report.count(LintKind::RedundantCone), 0, "{report}");
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //!                     port 0 picks a free port, printed on stdout)
 //!   --unix PATH       listen on a Unix-domain socket instead
 //!   --store DIR       persist reports under DIR (content-addressed
-//!                     rgf2m-artifact/1 documents; survives restarts)
+//!                     rgf2m-artifact/2 documents; survives restarts)
 //!   --workers N       computation threads (default: one per CPU)
 //!
 //! The daemon prints one readiness line (`rgf2m-served listening on

@@ -219,7 +219,8 @@ pub fn encode_synth_ok(req: &SynthRequest, report: &ImplReport, source: &str) ->
         "{{\"id\": {}, \"ok\": true, \"source\": {}, {field}, \"method\": {}, \"target\": {}, \"seed\": \"{}\", \
          \"name\": {}, \"luts\": {}, \"slices\": {}, \"depth\": {}, \"time_ns\": {}, \
          \"area_time\": {}, \"dup_gates\": {}, \"dead_nodes\": {}, \"and_depth\": {}, \
-         \"xor_depth\": {}, \"worst_slack_ns\": {}}}",
+         \"xor_depth\": {}, \"and_gates\": {}, \"xor_gates\": {}, \"dedup_saved\": {}, \
+         \"worst_slack_ns\": {}}}",
         req.id,
         json_string(source),
         json_string(req.method.name()),
@@ -235,6 +236,9 @@ pub fn encode_synth_ok(req: &SynthRequest, report: &ImplReport, source: &str) ->
         report.dead_nodes,
         report.and_depth,
         report.xor_depth,
+        report.and_gates,
+        report.xor_gates,
+        report.dedup_saved,
         report.worst_slack_ns
     )
 }
@@ -311,6 +315,9 @@ impl Response {
             worst_slack_ns: num("worst_slack_ns")?,
             and_depth: count("and_depth")? as u32,
             xor_depth: count("xor_depth")? as u32,
+            and_gates: count("and_gates")?,
+            xor_gates: count("xor_gates")?,
+            dedup_saved: count("dedup_saved")?,
         })
     }
 }
@@ -443,6 +450,9 @@ mod tests {
             worst_slack_ns: 0.0,
             and_depth: 1,
             xor_depth: 5,
+            and_gates: 64,
+            xor_gates: 84,
+            dedup_saved: 0,
         };
         let line = encode_synth_ok(&req(), &report, "computed");
         let resp = parse_response(&line).unwrap();

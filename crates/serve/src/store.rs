@@ -35,7 +35,7 @@ use crate::json::{json_string, parse_json, JsonValue};
 
 /// Schema tag stamped into every artifact document. Bump the suffix on
 /// any layout change: old entries then read as misses and refill.
-pub const ARTIFACT_SCHEMA: &str = "rgf2m-artifact/1";
+pub const ARTIFACT_SCHEMA: &str = "rgf2m-artifact/2";
 
 /// Counters describing one store's traffic since it was opened.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -53,7 +53,7 @@ pub struct StoreStats {
     pub write_errors: usize,
 }
 
-/// A content-addressed directory of `rgf2m-artifact/1` documents.
+/// A content-addressed directory of `rgf2m-artifact/2` documents.
 pub struct ArtifactStore {
     root: PathBuf,
     hits: AtomicUsize,
@@ -133,7 +133,8 @@ impl ArtifactStore {
         s.push_str(&format!(
             "\"name\": {}, \"luts\": {}, \"slices\": {}, \"depth\": {}, \
              \"time_ns\": {}, \"dup_gates\": {}, \"dead_nodes\": {}, \
-             \"worst_slack_ns\": {}, \"and_depth\": {}, \"xor_depth\": {}",
+             \"worst_slack_ns\": {}, \"and_depth\": {}, \"xor_depth\": {}, \
+             \"and_gates\": {}, \"xor_gates\": {}, \"dedup_saved\": {}",
             json_string(&report.name),
             report.luts,
             report.slices,
@@ -143,7 +144,10 @@ impl ArtifactStore {
             report.dead_nodes,
             report.worst_slack_ns,
             report.and_depth,
-            report.xor_depth
+            report.xor_depth,
+            report.and_gates,
+            report.xor_gates,
+            report.dedup_saved
         ));
         s.push_str("}\n}\n");
         s
@@ -199,6 +203,9 @@ impl ArtifactStore {
             worst_slack_ns: num("worst_slack_ns")?,
             and_depth: count("and_depth")? as u32,
             xor_depth: count("xor_depth")? as u32,
+            and_gates: count("and_gates")?,
+            xor_gates: count("xor_gates")?,
+            dedup_saved: count("dedup_saved")?,
         };
         Ok((content_hash, fingerprint, report))
     }
@@ -288,6 +295,9 @@ mod tests {
             worst_slack_ns: 0.0,
             and_depth: 1,
             xor_depth: 5,
+            and_gates: 64,
+            xor_gates: 84,
+            dedup_saved: 0,
         }
     }
 

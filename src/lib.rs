@@ -117,12 +117,13 @@ pub mod prelude {
     pub use gf2m::{Field, FieldError, MastrovitoMatrix, ReductionMatrix};
     pub use gf2poly::{is_irreducible, Gf2Poly, PentanomialError, TypeIiPentanomial};
     pub use netlist::{
-        check_depths, lint_netlist, output_depths, Depth, DepthSpec, Gate, LintReport, MulSpec,
-        Netlist, NodeId, Poly,
+        check_area, check_depths, lint_netlist, output_depths, strash_classes, strash_dedup,
+        AreaSpec, Depth, DepthSpec, Gate, GateCensus, GateKind, LintReport, MulSpec, Netlist,
+        NodeId, Poly,
     };
     pub use rgf2m_baselines::School;
     pub use rgf2m_core::{
-        anonymize, delay_spec, generate, multiplier_spec, reverse_engineer, AtomKind,
+        anonymize, area_spec, delay_spec, generate, multiplier_spec, reverse_engineer, AtomKind,
         CoefficientTable, FlatCoefficientTable, MastrovitoPaar, Method, MultiplierGenerator,
         ProductTerm, Rashidi, RecoveredField, ReyhaniHasan, SiTi, SplitAtom,
     };

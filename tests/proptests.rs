@@ -110,6 +110,45 @@ proptest! {
     }
 
     #[test]
+    fn strash_dedup_preserves_formal_equivalence(
+        fi in 0usize..6,
+        mi in 0usize..6,
+    ) {
+        // The proof-carrying dedup rewrite must never change the
+        // function: its output still passes complete algebraic
+        // verification against the multiplication spec, for every
+        // registered method over every pooled field. And because the
+        // netlist builder hash-conses, there is never anything for it
+        // to reclaim on a generated design.
+        let field = &field_pool()[fi];
+        let net = generate(field, Method::ALL[mi]);
+        let (deduped, saved) = strash_dedup(&net);
+        prop_assert_eq!(saved, 0);
+        let spec = multiplier_spec(field);
+        prop_assert!(Pipeline::new().verify_formal(&spec, &deduped).is_ok());
+    }
+
+    #[test]
+    fn census_totals_match_netlist_stats(
+        fi in 0usize..6,
+        mi in 0usize..6,
+    ) {
+        // The gate census is just a different projection of the same
+        // netlist: its per-kind totals must agree with `stats()` and
+        // with the Table V area formulas, gate for gate.
+        let field = &field_pool()[fi];
+        let method = Method::ALL[mi];
+        let net = generate(field, method);
+        let census = GateCensus::of(&net);
+        let stats = net.stats();
+        prop_assert_eq!(census.ands, stats.ands);
+        prop_assert_eq!(census.xors, stats.xors);
+        let spec = area_spec(field, method);
+        prop_assert_eq!(census.ands, spec.ands());
+        prop_assert_eq!(census.xors, spec.xors());
+    }
+
+    #[test]
     fn field_and_gate_level_agree_on_random_triples(
         fi in 0usize..6,
         a_bits in any::<u64>(),
